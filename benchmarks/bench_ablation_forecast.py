@@ -1,0 +1,25 @@
+"""A13 — the end-to-end forecast loop, scored.
+
+Runs the sense → infer → forecast → score experiment on the benchmark
+corpus from two different seed cities, timing the full loop and printing
+the forecast scorecards.
+"""
+
+import pytest
+
+from repro.experiments.epidemic_forecast import run_forecast_experiment
+
+SEED_CITIES = ("Brisbane", "Darwin")
+
+
+@pytest.mark.parametrize("seed_city", SEED_CITIES)
+def test_forecast_loop(benchmark, bench_context, seed_city):
+    """Time one full forecast loop and print its scorecard."""
+
+    def run():
+        return run_forecast_experiment(bench_context, seed_city=seed_city)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.skill.r > 0.4

@@ -1,0 +1,20 @@
+"""A8 — ground-truth validation of the census-prediction proposal.
+
+Only a synthetic reproduction can run this: the generator's true trips
+play the role of the "real-world mobility" the paper could only
+hypothesise about.  Times the full validation and prints whether
+Twitter-fitted, census-driven gravity actually predicts true flows.
+"""
+
+from repro.experiments.ground_truth import run_ground_truth_validation
+
+
+def test_ground_truth_validation(benchmark, bench_result):
+    """Time the full proposal validation at the national scale."""
+    result = benchmark.pedantic(
+        run_ground_truth_validation, args=(bench_result,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    gravity = result.true_flow_quality["Gravity 2Param"]
+    assert gravity.pearson_r > 0.5

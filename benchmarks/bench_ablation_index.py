@@ -1,0 +1,47 @@
+"""A2 — spatial index ablation: grid index vs brute force.
+
+Population extraction issues 60+ radius queries over the corpus; this
+ablation times one full national-scale extraction pass with each index
+implementation.  Both produce identical results (property-tested in
+tests/geo/test_index.py); this measures the speed difference only.
+"""
+
+import pytest
+
+from repro.data.gazetteer import Scale, areas_for_scale
+from repro.extraction.population import extract_area_observations
+from repro.geo.index import BruteForceIndex, GridIndex
+
+
+@pytest.fixture(scope="module")
+def indexes(bench_corpus):
+    return {
+        "grid": GridIndex(bench_corpus.lats, bench_corpus.lons),
+        "brute": BruteForceIndex(bench_corpus.lats, bench_corpus.lons),
+    }
+
+
+@pytest.mark.parametrize("kind", ["grid", "brute"])
+def test_national_extraction(benchmark, bench_corpus, indexes, kind):
+    """Time the 20-city, 50 km extraction with one index kind."""
+    areas = areas_for_scale(Scale.NATIONAL)
+
+    def extract():
+        return extract_area_observations(
+            bench_corpus, areas, 50.0, index=indexes[kind]
+        )
+
+    observations = benchmark(extract)
+    total = sum(o.n_tweets for o in observations)
+    print(f"\nA2 index={kind}: {total} tweets matched across 20 cities")
+
+
+@pytest.mark.parametrize("kind", ["grid", "brute"])
+def test_metropolitan_extraction(benchmark, bench_corpus, indexes, kind):
+    """Small radii are where the grid index should win decisively."""
+    areas = areas_for_scale(Scale.METROPOLITAN)
+
+    def extract():
+        return extract_area_observations(bench_corpus, areas, 2.0, index=indexes[kind])
+
+    benchmark(extract)

@@ -1,0 +1,72 @@
+"""A10 — does higher-resolution population data rescue Radiation?
+
+The paper's future work: "improve the model accuracy by incorporating
+census data of higher resolutions".  This ablation compares the
+radiation model with s computed from (a) the 20 area points, (b) a
+25 km raster of the true population, (c) a 25 km raster estimated from
+tweets themselves — at several raster resolutions.
+"""
+
+import pytest
+
+from repro.data.gazetteer import Scale
+from repro.models import GravityModel, RadiationModel, evaluate_fitted
+from repro.models.radiation_grid import (
+    GridRadiationModel,
+    population_grid_from_corpus,
+    population_grid_from_world,
+)
+
+RESOLUTIONS_KM = (100.0, 50.0, 25.0)
+
+
+def test_point_radiation_baseline(benchmark, bench_context):
+    """The paper's Eq 3 with the 20-point s — the baseline."""
+    flows = bench_context.flows(Scale.NATIONAL)
+    pairs = flows.pairs()
+
+    def fit():
+        return RadiationModel.from_flows(flows).fit(pairs)
+
+    fitted = benchmark(fit)
+    evaluation = evaluate_fitted(fitted, pairs)
+    gravity = evaluate_fitted(GravityModel(2).fit(pairs), pairs)
+    print(
+        f"\nA10 point radiation: r={evaluation.pearson_r:.3f} "
+        f"(gravity reference: r={gravity.pearson_r:.3f})"
+    )
+
+
+@pytest.mark.parametrize("cell_km", RESOLUTIONS_KM)
+def test_highres_radiation_true_population(benchmark, bench_result, bench_context, cell_km):
+    """Raster s from the true population at one resolution."""
+    flows = bench_context.flows(Scale.NATIONAL)
+    pairs = flows.pairs()
+    grid = population_grid_from_world(bench_result.world, cell_km=cell_km)
+
+    def fit():
+        return GridRadiationModel(flows, grid).fit(pairs)
+
+    fitted = benchmark.pedantic(fit, rounds=1, iterations=1)
+    evaluation = evaluate_fitted(fitted, pairs)
+    print(
+        f"\nA10 true-pop raster {cell_km:.0f} km "
+        f"({grid.n_occupied_cells} cells): r={evaluation.pearson_r:.3f}"
+    )
+
+
+def test_highres_radiation_tweet_population(benchmark, bench_context):
+    """Raster s estimated from tweet density (self-bootstrapped)."""
+    flows = bench_context.flows(Scale.NATIONAL)
+    pairs = flows.pairs()
+    total = flows.populations().sum()
+
+    def pipeline():
+        grid = population_grid_from_corpus(
+            bench_context.corpus, total_population=total, cell_km=25.0
+        )
+        return GridRadiationModel(flows, grid).fit(pairs)
+
+    fitted = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    evaluation = evaluate_fitted(fitted, pairs)
+    print(f"\nA10 tweet-density raster 25 km: r={evaluation.pearson_r:.3f}")

@@ -1,0 +1,35 @@
+"""A4 — corpus-size scaling of the full pipeline.
+
+Times corpus synthesis and the Table II pipeline at increasing user
+counts, showing the end-to-end cost is roughly linear in corpus size
+(generation dominates; extraction is index-accelerated).
+"""
+
+import pytest
+
+from repro.experiments.scales import ExperimentContext
+from repro.experiments.table2 import run_table2
+from repro.synth import SynthConfig, generate_corpus
+
+SIZES = (2_000, 8_000, 20_000)
+
+
+@pytest.mark.parametrize("n_users", SIZES)
+def test_generation_scaling(benchmark, n_users):
+    """Time corpus synthesis at one size."""
+    config = SynthConfig(n_users=n_users, seed=77)
+    result = benchmark.pedantic(generate_corpus, args=(config,), rounds=1, iterations=1)
+    print(f"\nA4 generation: {n_users} users -> {len(result.corpus)} tweets")
+
+
+@pytest.mark.parametrize("n_users", SIZES)
+def test_pipeline_scaling(benchmark, n_users):
+    """Time extraction + all model fits at one corpus size."""
+    corpus = generate_corpus(SynthConfig(n_users=n_users, seed=77)).corpus
+
+    def pipeline():
+        return run_table2(ExperimentContext(corpus))
+
+    result = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    holds = result.gravity_beats_radiation()
+    print(f"\nA4 pipeline: {n_users} users, headline claim holds: {holds}")

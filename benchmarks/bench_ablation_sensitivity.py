@@ -1,0 +1,43 @@
+"""A12 — sensitivity sweeps: identifiability and noise robustness.
+
+Each sweep point regenerates an 8k-user world, so these run as
+single-round pedantic benchmarks.
+"""
+
+import numpy as np
+
+from repro.experiments.sensitivity import (
+    adoption_noise_sweep,
+    gamma_identifiability_sweep,
+    render_gamma_sweep,
+    render_noise_sweep,
+)
+
+
+def test_gamma_identifiability(benchmark):
+    """Fitted γ must track the generator's true kernel exponent."""
+    gammas = (0.8, 1.2, 1.6, 2.0, 2.4)
+
+    def sweep():
+        return gamma_identifiability_sweep(gammas, n_users=8_000)
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_gamma_sweep(points))
+    fitted = [p.fitted_gamma for p in points]
+    # Monotone tracking (with slack for area-level aggregation noise).
+    assert all(a <= b + 0.2 for a, b in zip(fitted, fitted[1:]))
+
+
+def test_adoption_noise_robustness(benchmark):
+    """Fig 3 correlations must decay gracefully with adoption noise."""
+    sigmas = (0.0, 0.25, 0.5, 1.0)
+
+    def sweep():
+        return adoption_noise_sweep(sigmas, n_users=8_000)
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_noise_sweep(points))
+    # Zero noise should be at least as good as heavy noise nationally.
+    assert points[0].national_r >= points[-1].national_r - 0.05

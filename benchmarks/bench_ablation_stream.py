@@ -1,0 +1,84 @@
+"""A9 — streaming throughput: how live can "responsive" be?
+
+Measures the ingest rate of the online counters and the full monitor,
+replaying the benchmark corpus as a time-ordered stream.  The paper's
+real corpus arrived at ~0.3 tweets/s nationally; the streaming stack
+must exceed that by orders of magnitude to be worth the name.
+"""
+
+import numpy as np
+
+from repro.data.gazetteer import Scale, areas_for_scale, search_radius_km
+from repro.data.schema import Tweet
+from repro.stream import MobilityMonitor, OnlineMobilityCounter, OnlinePopulationCounter
+
+DAY = 86_400.0
+
+
+def _stream(bench_corpus, limit=50_000):
+    order = np.argsort(bench_corpus.timestamps, kind="stable")[:limit]
+    return [
+        Tweet(
+            user_id=int(bench_corpus.user_ids[i]),
+            timestamp=float(bench_corpus.timestamps[i]),
+            lat=float(bench_corpus.lats[i]),
+            lon=float(bench_corpus.lons[i]),
+        )
+        for i in order
+    ]
+
+
+def test_population_counter_throughput(benchmark, bench_corpus):
+    """Ingest rate of the windowed population counter."""
+    tweets = _stream(bench_corpus)
+    areas = areas_for_scale(Scale.NATIONAL)
+
+    def replay():
+        counter = OnlinePopulationCounter(
+            areas, search_radius_km(Scale.NATIONAL), window_seconds=30 * DAY
+        )
+        for tweet in tweets:
+            counter.push(tweet)
+        return counter
+
+    counter = benchmark.pedantic(replay, rounds=1, iterations=1)
+    print(f"\nA9 population counter: {len(tweets)} tweets ingested, "
+          f"{counter.user_counts().sum()} windowed user-area pairs")
+
+
+def test_mobility_counter_throughput(benchmark, bench_corpus):
+    """Ingest rate of the windowed OD counter."""
+    tweets = _stream(bench_corpus)
+    areas = areas_for_scale(Scale.NATIONAL)
+
+    def replay():
+        counter = OnlineMobilityCounter(
+            areas, search_radius_km(Scale.NATIONAL), window_seconds=30 * DAY
+        )
+        for tweet in tweets:
+            counter.push(tweet)
+        return counter
+
+    counter = benchmark.pedantic(replay, rounds=1, iterations=1)
+    print(f"\nA9 mobility counter: {counter.total_transitions} windowed transitions")
+
+
+def test_full_monitor_throughput(benchmark, bench_corpus):
+    """Ingest rate of the monitor including periodic refits."""
+    tweets = _stream(bench_corpus)
+    areas = areas_for_scale(Scale.NATIONAL)
+
+    def replay():
+        monitor = MobilityMonitor(
+            areas,
+            search_radius_km(Scale.NATIONAL),
+            window_seconds=30 * DAY,
+            check_interval_seconds=5 * DAY,
+        )
+        for tweet in tweets:
+            monitor.push(tweet)
+        return monitor
+
+    monitor = benchmark.pedantic(replay, rounds=1, iterations=1)
+    refits = len(monitor.gamma_history())
+    print(f"\nA9 full monitor: {refits} windowed refits during replay")

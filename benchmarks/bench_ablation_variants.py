@@ -1,0 +1,84 @@
+"""A7 — extended model shoot-out with held-out validation.
+
+Beyond the paper's three models: normalized radiation (Masucci
+finite-size correction), production- and doubly-constrained gravity,
+and intervening opportunities — each scored in-sample and with 5-fold
+cross-validation where the model supports prediction on held-out pairs.
+Prints an extended Table II and the AIC ranking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.gazetteer import Scale
+from repro.models import (
+    DoublyConstrainedGravity,
+    GravityModel,
+    InterveningOpportunitiesModel,
+    NormalizedRadiation,
+    ProductionConstrainedGravity,
+    RadiationModel,
+    evaluate_fitted,
+    k_fold_cross_validate,
+    rank_models_by_aic,
+)
+
+
+def _fitters(flows):
+    return [
+        GravityModel(4),
+        GravityModel(2),
+        RadiationModel.from_flows(flows),
+        NormalizedRadiation.from_flows(flows),
+        InterveningOpportunitiesModel.from_flows(flows),
+        ProductionConstrainedGravity(flows),
+        DoublyConstrainedGravity(flows),
+    ]
+
+
+@pytest.mark.parametrize("scale", list(Scale), ids=lambda s: s.value)
+def test_extended_shootout(benchmark, bench_context, scale):
+    """Time fitting all seven models at one scale; print the scoreboard."""
+    flows = bench_context.flows(scale)
+    pairs = flows.pairs()
+
+    def fit_all():
+        return [fitter.fit(pairs) for fitter in _fitters(flows)]
+
+    fitted_models = benchmark.pedantic(fit_all, rounds=1, iterations=1)
+    print(f"\nA7 {scale.value} (in-sample):")
+    evaluations = []
+    for fitted in fitted_models:
+        evaluation = evaluate_fitted(fitted, pairs)
+        evaluations.append(evaluation)
+        print(
+            f"  {evaluation.model_name:<26s} r={evaluation.pearson_r:.3f} "
+            f"hit50={evaluation.hit_rate_50:.3f} logRMSE={evaluation.log_rmse:.2f}"
+        )
+    # AIC over the predictive (non-margin-using) models only.
+    predictive = [e for e in evaluations if "Constrained" not in e.model_name]
+    ranking = rank_models_by_aic(predictive)
+    print("  AIC ranking: " + " > ".join(name for name, _ in ranking))
+
+
+def test_cross_validated_headline(benchmark, bench_context):
+    """5-fold CV at national scale: gravity must beat radiation held-out."""
+    flows = bench_context.flows(Scale.NATIONAL)
+    pairs = flows.pairs()
+
+    def cross_validate():
+        gravity = k_fold_cross_validate(
+            GravityModel(2), pairs, k=5, rng=np.random.default_rng(0)
+        )
+        radiation = k_fold_cross_validate(
+            RadiationModel.from_flows(flows), pairs, k=5, rng=np.random.default_rng(0)
+        )
+        return gravity, radiation
+
+    gravity, radiation = benchmark.pedantic(cross_validate, rounds=1, iterations=1)
+    print(
+        f"\nA7 held-out (national, 5-fold): gravity r={gravity.mean_pearson:.3f} "
+        f"vs radiation r={radiation.mean_pearson:.3f} — "
+        f"{'holds' if gravity.mean_pearson > radiation.mean_pearson else 'FAILS'}"
+    )
+    assert gravity.mean_pearson > radiation.mean_pearson

@@ -1,0 +1,10 @@
+"""F1 — regenerate Fig 1 (tweet density map of Australia)."""
+
+from repro.experiments.fig1 import run_fig1
+
+
+def test_fig1(benchmark, bench_corpus):
+    """Time the 25 km density gridding and print the map."""
+    result = benchmark(run_fig1, bench_corpus, 25.0)
+    print()
+    print(result.render(max_width=90))

@@ -1,0 +1,10 @@
+"""F2 — regenerate Fig 2 (heavy-tailed tweeting dynamics)."""
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2(benchmark, bench_corpus):
+    """Time both distribution measurements and print the panels."""
+    result = benchmark(run_fig2, bench_corpus)
+    print()
+    print(result.render())

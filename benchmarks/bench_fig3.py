@@ -1,0 +1,19 @@
+"""F3 — regenerate Fig 3 (population correlation at three scales + ε check)."""
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.scales import ExperimentContext
+
+
+def test_fig3(benchmark, bench_corpus):
+    """Time the full three-scale extraction + correlation pipeline.
+
+    A fresh context per round so the benchmark includes the radius
+    queries (the dominant cost), not just cached lookups.
+    """
+
+    def pipeline():
+        return run_fig3(ExperimentContext(bench_corpus))
+
+    result = benchmark(pipeline)
+    print()
+    print(result.render())

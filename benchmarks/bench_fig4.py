@@ -1,0 +1,10 @@
+"""F4 — regenerate Fig 4 (model estimation scatter, 3 models x 3 scales)."""
+
+from repro.experiments.fig4 import run_fig4
+
+
+def test_fig4(benchmark, bench_context):
+    """Time all nine model fits + evaluations and print the panels."""
+    result = benchmark(run_fig4, bench_context)
+    print()
+    print(result.render())

@@ -1,0 +1,10 @@
+"""T1 — regenerate Table I (dataset statistics) and time the measurement."""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(benchmark, bench_corpus):
+    """Time the full Table I measurement and print the measured row."""
+    result = benchmark(run_table1, bench_corpus)
+    print()
+    print(result.render())

@@ -1,0 +1,10 @@
+"""T2 — regenerate Table II (Pearson + HitRate@50% per model x scale)."""
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2(benchmark, bench_context):
+    """Time the Table II scoring and print measured vs paper cells."""
+    result = benchmark(run_table2, bench_context)
+    print()
+    print(result.render())

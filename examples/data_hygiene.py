@@ -1,0 +1,91 @@
+"""Data hygiene and release: bots, health checks, anonymisation, Pareto.
+
+    python examples/data_hygiene.py [n_users]
+
+The unglamorous parts a production deployment of the paper's pipeline
+needs, demonstrated end to end:
+
+1. synthesise a corpus contaminated with 1% stationary bot accounts;
+2. run the health report, detect the bots, measure precision/recall
+   against the generator's ground truth, and clean the corpus;
+3. quantify the paper's "Pareto principle" remark with a Gini
+   coefficient and the top-20% share, before and after cleaning;
+4. prepare a privacy-safe release: keyed pseudonyms, 1 km spatial
+   coarsening, and a k-anonymity check of the per-area counts —
+   then verify the Fig 3 population correlation survived it all.
+"""
+
+import sys
+
+import numpy as np
+
+from repro.data import (
+    coarsen_coordinates,
+    corpus_health_report,
+    detect_bots,
+    k_anonymity_report,
+    pseudonymize_users,
+    remove_users,
+)
+from repro.data.gazetteer import Scale, areas_for_scale, search_radius_km
+from repro.extraction import extract_area_observations
+from repro.extraction.population import twitter_population_arrays
+from repro.stats import gini_coefficient, log_pearson, top_share
+from repro.synth import SynthConfig, generate_corpus
+
+
+def national_r(corpus) -> float:
+    """The Fig 3 national correlation for a corpus."""
+    areas = areas_for_scale(Scale.NATIONAL)
+    observations = extract_area_observations(
+        corpus, areas, search_radius_km(Scale.NATIONAL)
+    )
+    return log_pearson(*twitter_population_arrays(observations)).r
+
+
+def main() -> None:
+    n_users = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    print(f"Synthesising {n_users} users with 1% bot accounts ...\n")
+    result = generate_corpus(SynthConfig(n_users=n_users, bot_fraction=0.01))
+    corpus = result.corpus
+
+    print(corpus_health_report(corpus).render())
+
+    flagged = detect_bots(corpus)
+    truth = set(result.bot_users.tolist())
+    found = set(flagged.tolist())
+    precision = len(found & truth) / max(len(found), 1)
+    recall = len(found & truth) / max(len(truth), 1)
+    print(
+        f"\nBot detection: flagged {flagged.size} accounts "
+        f"(precision {precision:.2f}, recall {recall:.2f} vs ground truth)"
+    )
+    cleaned = remove_users(corpus, flagged)
+    print(
+        f"tweets/user: {len(corpus) / corpus.n_users:.1f} contaminated -> "
+        f"{len(cleaned) / cleaned.n_users:.1f} cleaned"
+    )
+
+    print("\nPareto principle (Section II of the paper), quantified:")
+    for label, c in (("contaminated", corpus), ("cleaned", cleaned)):
+        counts = c.tweets_per_user().astype(np.float64)
+        print(
+            f"  {label:<13s} Gini={gini_coefficient(counts):.3f}  "
+            f"top-20% share={top_share(counts, 0.2):.1%}"
+        )
+
+    print("\nPreparing a privacy-safe release ...")
+    release = coarsen_coordinates(
+        pseudonymize_users(cleaned, key="public-release-2026"), resolution_km=1.0
+    )
+    areas = areas_for_scale(Scale.NATIONAL)
+    print(k_anonymity_report(release, areas, search_radius_km(Scale.NATIONAL), k=10).render())
+
+    print("\nDoes the science survive the hygiene pipeline?")
+    print(f"  Fig 3 national r, contaminated: {national_r(corpus):.3f}")
+    print(f"  Fig 3 national r, cleaned:      {national_r(cleaned):.3f}")
+    print(f"  Fig 3 national r, released:     {national_r(release):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: synthesise a corpus, estimate population, compare models.
+
+Runs the entire paper pipeline end to end in under a minute::
+
+    python examples/quickstart.py [n_users]
+
+Steps:
+1. Synthesise a geo-tagged tweet corpus over the real Australian
+   geography (the paper's Twitter data is no longer obtainable; see
+   DESIGN.md for why the synthetic corpus preserves every measured
+   property).
+2. Print the Table I statistics next to the paper's.
+3. Correlate Twitter population with census population at the three
+   scales (Fig 3).
+4. Fit Gravity 4Param / Gravity 2Param / Radiation on extracted OD
+   flows and print Table II.
+"""
+
+import sys
+import time
+
+from repro.experiments import ExperimentContext, run_fig3, run_table1, run_table2
+from repro.synth import SynthConfig, generate_corpus
+
+
+def main() -> None:
+    n_users = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    print(f"Synthesising a corpus with {n_users} users ...")
+    start = time.time()
+    result = generate_corpus(SynthConfig(n_users=n_users))
+    corpus = result.corpus
+    print(
+        f"  -> {len(corpus):,} tweets by {corpus.n_users:,} users over "
+        f"{len(result.world)} places ({time.time() - start:.1f}s)\n"
+    )
+
+    print(run_table1(corpus).render())
+    print()
+
+    context = ExperimentContext(corpus)
+    print(run_fig3(context).render())
+    print()
+    print(run_table2(context).render())
+
+
+if __name__ == "__main__":
+    main()

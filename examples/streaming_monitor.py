@@ -1,0 +1,130 @@
+"""Streaming monitor: the responsive forecasting system in action.
+
+    python examples/streaming_monitor.py [n_users]
+
+The paper's pitch is that tweets, unlike censuses and call logs, arrive
+*continuously* — so an outbreak-response system can watch mobility
+change in real time.  This example plays a synthetic corpus through the
+streaming stack as if it were live:
+
+1. replay the corpus tweet-by-tweet through a 30-day sliding window;
+2. print the windowed gravity exponent over time (the fitted law is
+   stable month to month — what makes forecasting possible);
+3. inject a synthetic mass-evacuation event (10% of Sydney's active
+   users relocate to Melbourne within two days) and show the anomaly
+   monitor flagging the Sydney→Melbourne flow surge as it happens.
+"""
+
+import sys
+
+import numpy as np
+
+from repro.data.gazetteer import Scale, areas_for_scale, search_radius_km
+from repro.data.schema import Tweet
+from repro.stream import MobilityMonitor
+from repro.synth import SynthConfig, generate_corpus
+
+DAY = 86_400.0
+
+
+def replay_with_event(corpus, monitor: MobilityMonitor) -> None:
+    """Replay the corpus in time order, injecting an evacuation event."""
+    areas = areas_for_scale(Scale.NATIONAL)
+    sydney = areas[0].center
+    melbourne = areas[1].center
+
+    order = np.argsort(corpus.timestamps, kind="stable")
+    timestamps = corpus.timestamps[order]
+    event_start = float(np.quantile(timestamps, 0.75))
+    event_users = 400
+
+    # Build the synthetic evacuation: users tweet once in Sydney, then
+    # once in Melbourne a few hours later.
+    event_tweets = []
+    rng = np.random.default_rng(99)
+    for k in range(event_users):
+        user_id = 10_000_000 + k
+        t0 = event_start + rng.uniform(0, DAY)
+        event_tweets.append(
+            Tweet(user_id=user_id, timestamp=t0, lat=sydney.lat, lon=sydney.lon)
+        )
+        event_tweets.append(
+            Tweet(
+                user_id=user_id,
+                timestamp=t0 + rng.uniform(3600, 8 * 3600),
+                lat=melbourne.lat,
+                lon=melbourne.lon,
+            )
+        )
+
+    stream = [
+        Tweet(
+            user_id=int(corpus.user_ids[i]),
+            timestamp=float(corpus.timestamps[i]),
+            lat=float(corpus.lats[i]),
+            lon=float(corpus.lons[i]),
+        )
+        for i in order
+    ]
+    stream.extend(event_tweets)
+    stream.sort(key=lambda t: t.timestamp)
+
+    start = stream[0].timestamp
+    flagged_event = False
+    for tweet in stream:
+        for anomaly in monitor.push(tweet):
+            day = (anomaly.timestamp - start) / DAY
+            direction = "SURGE" if anomaly.ratio > 1 else "DROP"
+            is_event = anomaly.source == "Sydney" and anomaly.dest == "Melbourne"
+            marker = "  <-- injected evacuation" if is_event and anomaly.ratio > 1 else ""
+            flagged_event = flagged_event or bool(marker)
+            print(
+                f"  day {day:6.1f}: {direction} {anomaly.source} -> {anomaly.dest}: "
+                f"{anomaly.observed:.0f} vs baseline {anomaly.baseline:.1f} "
+                f"(x{anomaly.ratio:.1f}){marker}"
+            )
+    for anomaly in monitor.check_now():
+        if anomaly.source == "Sydney" and anomaly.dest == "Melbourne" and anomaly.ratio > 1:
+            flagged_event = True
+            day = (anomaly.timestamp - start) / DAY
+            print(
+                f"  day {day:6.1f}: SURGE Sydney -> Melbourne: "
+                f"{anomaly.observed:.0f} vs baseline {anomaly.baseline:.1f} "
+                f"(x{anomaly.ratio:.1f})  <-- injected evacuation"
+            )
+    print(
+        "\nEvacuation event "
+        + ("DETECTED by the monitor." if flagged_event else "NOT detected (rerun with more users).")
+    )
+
+
+def main() -> None:
+    n_users = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    print(f"Synthesising {n_users} users and replaying the stream ...\n")
+    corpus = generate_corpus(SynthConfig(n_users=n_users)).corpus
+    monitor = MobilityMonitor(
+        areas_for_scale(Scale.NATIONAL),
+        search_radius_km(Scale.NATIONAL),
+        window_seconds=30 * DAY,
+        check_interval_seconds=5 * DAY,
+        anomaly_ratio=2.5,
+        min_flow=20.0,
+    )
+    print("Anomalies raised during replay:")
+    replay_with_event(corpus, monitor)
+
+    print("\nWindowed gravity exponent over the collection period:")
+    history = monitor.gamma_history()
+    if history:
+        start = history[0][0]
+        for ts, gamma in history:
+            print(f"  day {(ts - start) / DAY:6.1f}: gamma = {gamma:.2f}")
+        gammas = [g for _t, g in history]
+        print(
+            f"  -> stable around {np.median(gammas):.2f} "
+            "(generator ground truth: 1.6 at site level)"
+        )
+
+
+if __name__ == "__main__":
+    main()

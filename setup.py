@@ -1,0 +1,11 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` to build a PEP 660 editable wheel;
+on offline machines without it, ``python setup.py develop`` installs the
+same editable package using only setuptools.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

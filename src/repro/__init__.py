@@ -1,0 +1,37 @@
+"""repro — reproduction of Liu et al., "Multi-scale Population and
+Mobility Estimation with Geo-tagged Tweets" (ICDE 2015).
+
+The package estimates population distributions and inter-area mobility
+from geo-tagged tweets, compares Gravity and Radiation mobility models
+at national/state/metropolitan scales, and extends the pipeline to
+metapopulation disease-spread forecasting.
+
+Quick start::
+
+    from repro.synth import SynthConfig, generate_corpus
+    from repro.experiments import run_all_experiments
+
+    corpus = generate_corpus(SynthConfig(n_users=40_000)).corpus
+    print(run_all_experiments(corpus).render())
+
+Subpackages
+-----------
+``repro.geo``         geodesy, spatial indexing, density grids
+``repro.data``        tweet records, Australian gazetteer, I/O, corpus
+``repro.synth``       synthetic geo-tagged tweet generator
+``repro.extraction``  population / mobility / dynamics extraction
+``repro.models``      Gravity, Radiation, intervening opportunities
+``repro.stats``       correlation, binning, metrics, power-law fits
+``repro.experiments`` one module per paper table/figure
+``repro.epidemic``    metapopulation SEIR on fitted mobility networks
+``repro.viz``         terminal figure rendering
+"""
+
+__version__ = "1.0.0"
+
+from repro.data.corpus import TweetCorpus
+from repro.data.gazetteer import Scale
+from repro.synth.config import SynthConfig
+from repro.synth.generator import generate_corpus
+
+__all__ = ["Scale", "SynthConfig", "TweetCorpus", "__version__", "generate_corpus"]

@@ -1,0 +1,349 @@
+"""Command-line interface.
+
+Usage (installed as ``repro`` or via ``python -m repro``)::
+
+    repro generate --users 40000 --out corpus.csv
+    repro stats corpus.csv
+    repro experiment all --users 40000
+    repro experiment table2 --corpus corpus.csv
+    repro epidemic --users 20000 --seed-city Sydney --model gravity2
+
+``experiment`` accepts either ``--corpus FILE`` (a CSV written by
+``generate``) or ``--users N`` to synthesise a corpus on the fly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.data.corpus import TweetCorpus
+from repro.data.gazetteer import Scale, areas_for_scale
+from repro.data.io import read_tweets_csv, write_tweets_csv
+from repro.epidemic import arrival_times, network_from_model
+from repro.experiments import (
+    ExperimentContext,
+    run_all_experiments,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_table1,
+    run_table2,
+)
+from repro.models import GravityModel, RadiationModel
+from repro.synth import SynthConfig, generate_corpus
+
+EXPERIMENTS = ("table1", "fig1", "fig2", "fig3", "fig4", "table2", "all")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Multi-scale Population and Mobility Estimation "
+            "with Geo-tagged Tweets' (Liu et al., ICDE 2015)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesise a geo-tagged tweet corpus")
+    gen.add_argument("--users", type=int, default=40_000, help="number of users")
+    gen.add_argument("--seed", type=int, default=20150413, help="RNG seed")
+    gen.add_argument("--out", required=True, help="output CSV path")
+
+    stats = sub.add_parser("stats", help="print Table I statistics for a corpus CSV")
+    stats.add_argument("corpus", help="corpus CSV path")
+
+    exp = sub.add_parser("experiment", help="run a paper artefact reproduction")
+    exp.add_argument("which", choices=EXPERIMENTS, help="which artefact")
+    exp.add_argument("--corpus", help="corpus CSV (else synthesise)")
+    exp.add_argument("--users", type=int, default=40_000, help="users to synthesise")
+    exp.add_argument("--seed", type=int, default=20150413, help="RNG seed")
+
+    epi = sub.add_parser("epidemic", help="disease-spread forecast on fitted mobility")
+    epi.add_argument("--users", type=int, default=20_000, help="users to synthesise")
+    epi.add_argument("--seed", type=int, default=20150413, help="RNG seed")
+    epi.add_argument("--seed-city", default="Sydney", help="outbreak origin city")
+    epi.add_argument(
+        "--model",
+        choices=("gravity2", "gravity4", "radiation"),
+        default="gravity2",
+        help="mobility model coupling the patches",
+    )
+    epi.add_argument("--runs", type=int, default=20, help="stochastic runs")
+    epi.add_argument("--r0", type=float, default=2.5, help="basic reproduction number")
+
+    gt = sub.add_parser(
+        "groundtruth",
+        help="validate the paper's census-prediction proposal against ground truth",
+    )
+    gt.add_argument("--users", type=int, default=20_000, help="users to synthesise")
+    gt.add_argument("--seed", type=int, default=20150413, help="RNG seed")
+
+    val = sub.add_parser("validate", help="cross-validated model comparison")
+    val.add_argument("--corpus", help="corpus CSV (else synthesise)")
+    val.add_argument("--users", type=int, default=20_000, help="users to synthesise")
+    val.add_argument("--seed", type=int, default=20150413, help="RNG seed")
+    val.add_argument("--folds", type=int, default=5, help="CV folds")
+
+    dist = sub.add_parser("distance", help="multi-scale distance analysis")
+    dist.add_argument("--corpus", help="corpus CSV (else synthesise)")
+    dist.add_argument("--users", type=int, default=20_000, help="users to synthesise")
+    dist.add_argument("--seed", type=int, default=20150413, help="RNG seed")
+
+    temporal = sub.add_parser("temporal", help="hourly/weekly activity profiles")
+    temporal.add_argument("--corpus", help="corpus CSV (else synthesise)")
+    temporal.add_argument("--users", type=int, default=20_000, help="users to synthesise")
+    temporal.add_argument("--seed", type=int, default=20150413, help="RNG seed")
+    temporal.add_argument(
+        "--diurnal", type=float, default=0.0,
+        help="diurnal amplitude for synthesised corpora (0 = flat)",
+    )
+
+    report = sub.add_parser("report", help="full reproduction report (markdown)")
+    report.add_argument("--corpus", help="corpus CSV (else synthesise)")
+    report.add_argument("--users", type=int, default=40_000, help="users to synthesise")
+    report.add_argument("--seed", type=int, default=20150413, help="RNG seed")
+    report.add_argument("--out", help="write the report to this file (else stdout)")
+
+    health = sub.add_parser("health", help="corpus hygiene: health report + bot scan")
+    health.add_argument("corpus", help="corpus CSV path")
+    health.add_argument(
+        "--max-rate", type=float, default=30.0, help="bot rate threshold (tweets/day)"
+    )
+
+    anon = sub.add_parser("anonymize", help="pseudonymise + spatially coarsen a corpus")
+    anon.add_argument("corpus", help="input corpus CSV path")
+    anon.add_argument("--out", required=True, help="output corpus CSV path")
+    anon.add_argument("--key", required=True, help="pseudonymisation key")
+    anon.add_argument(
+        "--coarsen-km", type=float, default=1.0,
+        help="spatial rounding resolution in km (0 disables)",
+    )
+
+    density = sub.add_parser("densitymap", help="render the Fig 1 density map as a PPM image")
+    density.add_argument("--corpus", help="corpus CSV (else synthesise)")
+    density.add_argument("--users", type=int, default=40_000, help="users to synthesise")
+    density.add_argument("--seed", type=int, default=20150413, help="RNG seed")
+    density.add_argument("--out", required=True, help="output .ppm path")
+    density.add_argument("--cell-km", type=float, default=25.0, help="grid cell size")
+    return parser
+
+
+def _load_or_generate(args: argparse.Namespace) -> TweetCorpus:
+    if getattr(args, "corpus", None):
+        print(f"loading corpus from {args.corpus} ...", file=sys.stderr)
+        return TweetCorpus.from_tweets(read_tweets_csv(args.corpus))
+    print(f"synthesising corpus ({args.users} users) ...", file=sys.stderr)
+    return generate_corpus(SynthConfig(n_users=args.users, seed=args.seed)).corpus
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    start = time.time()
+    result = generate_corpus(SynthConfig(n_users=args.users, seed=args.seed))
+    count = write_tweets_csv(result.corpus.iter_tweets(), args.out)
+    print(
+        f"wrote {count} tweets by {result.corpus.n_users} users to {args.out} "
+        f"({time.time() - start:.1f}s)"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    corpus = TweetCorpus.from_tweets(read_tweets_csv(args.corpus))
+    print(run_table1(corpus).render())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    corpus = _load_or_generate(args)
+    if args.which == "all":
+        print(run_all_experiments(corpus).render())
+        return 0
+    context = ExperimentContext(corpus)
+    runners = {
+        "table1": lambda: run_table1(corpus),
+        "fig1": lambda: run_fig1(corpus),
+        "fig2": lambda: run_fig2(corpus),
+        "fig3": lambda: run_fig3(context),
+        "fig4": lambda: run_fig4(context),
+        "table2": lambda: run_table2(context),
+    }
+    print(runners[args.which]().render())
+    return 0
+
+
+def _cmd_epidemic(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    corpus = _load_or_generate(args)
+    context = ExperimentContext(corpus)
+    flows = context.flows(Scale.NATIONAL)
+    pairs = flows.pairs()
+    if args.model == "gravity2":
+        fitted = GravityModel(2).fit(pairs)
+    elif args.model == "gravity4":
+        fitted = GravityModel(4).fit(pairs)
+    else:
+        fitted = RadiationModel.from_flows(flows).fit(pairs)
+    network = network_from_model(fitted, areas_for_scale(Scale.NATIONAL))
+    gamma = 0.2
+    beta = args.r0 * gamma
+    print(
+        f"Seeding outbreak in {args.seed_city} (R0={args.r0}, model={fitted.name}) ...",
+        file=sys.stderr,
+    )
+    summary = arrival_times(
+        network,
+        beta=beta,
+        gamma=gamma,
+        seed_patch=args.seed_city,
+        n_runs=args.runs,
+        rng=np.random.default_rng(args.seed),
+    )
+    print(summary.render())
+    return 0
+
+
+def _cmd_groundtruth(args: argparse.Namespace) -> int:
+    from repro.experiments.ground_truth import run_ground_truth_validation
+
+    print(f"synthesising corpus ({args.users} users) ...", file=sys.stderr)
+    result = generate_corpus(SynthConfig(n_users=args.users, seed=args.seed))
+    print(run_ground_truth_validation(result).render())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.models import k_fold_cross_validate
+
+    corpus = _load_or_generate(args)
+    context = ExperimentContext(corpus)
+    print(f"{args.folds}-fold cross-validated Pearson r (held-out pairs):")
+    header = f"{'':14s}{'Gravity 4Param':>18s}{'Gravity 2Param':>18s}{'Radiation':>18s}"
+    print(header)
+    for scale in Scale:
+        flows = context.flows(scale)
+        pairs = flows.pairs()
+        row = f"{scale.value.capitalize():14s}"
+        for model in (GravityModel(4), GravityModel(2), RadiationModel.from_flows(flows)):
+            result = k_fold_cross_validate(
+                model, pairs, k=args.folds, rng=np.random.default_rng(0)
+            )
+            row += f"{result.mean_pearson:>18.3f}"
+        print(row)
+    return 0
+
+
+def _cmd_distance(args: argparse.Namespace) -> int:
+    from repro.experiments.distance import run_distance_analysis
+
+    corpus = _load_or_generate(args)
+    print(run_distance_analysis(corpus).render())
+    return 0
+
+
+def _cmd_temporal(args: argparse.Namespace) -> int:
+    from repro.extraction.temporal import day_night_ratio, hourly_profile, weekly_profile
+
+    if getattr(args, "corpus", None):
+        corpus = _load_or_generate(args)
+    else:
+        print(f"synthesising corpus ({args.users} users) ...", file=sys.stderr)
+        corpus = generate_corpus(
+            SynthConfig(n_users=args.users, seed=args.seed, diurnal_amplitude=args.diurnal)
+        ).corpus
+    print("Hourly activity profile:")
+    print(hourly_profile(corpus).render())
+    print("\nWeekly activity profile:")
+    print(weekly_profile(corpus).render())
+    ratio = day_night_ratio(corpus)
+    print(f"\nday/night activity ratio: {ratio:.2f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    corpus = _load_or_generate(args)
+    note = (
+        f"Corpus: {len(corpus):,} tweets by {corpus.n_users:,} users "
+        f"(seed {getattr(args, 'seed', 'n/a')})."
+    )
+    report = generate_report(run_all_experiments(corpus), title_note=note)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+            handle.write("\n")
+        print(f"wrote report to {args.out}", file=sys.stderr)
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.data.validation import corpus_health_report, detect_bots
+
+    corpus = TweetCorpus.from_tweets(read_tweets_csv(args.corpus))
+    print(corpus_health_report(corpus).render())
+    bots = detect_bots(corpus, max_rate_per_day=args.max_rate)
+    if bots.size:
+        print(f"\nflagged {bots.size} likely bot accounts: {bots[:10].tolist()}"
+              + (" ..." if bots.size > 10 else ""))
+    else:
+        print("\nno likely bot accounts flagged")
+    return 0
+
+
+def _cmd_anonymize(args: argparse.Namespace) -> int:
+    from repro.data.anonymize import coarsen_coordinates, pseudonymize_users
+
+    corpus = TweetCorpus.from_tweets(read_tweets_csv(args.corpus))
+    anonymous = pseudonymize_users(corpus, key=args.key)
+    if args.coarsen_km > 0:
+        anonymous = coarsen_coordinates(anonymous, args.coarsen_km)
+    count = write_tweets_csv(anonymous.iter_tweets(), args.out)
+    print(
+        f"wrote {count} anonymised tweets to {args.out} "
+        f"(coarsened to {args.coarsen_km} km)"
+    )
+    return 0
+
+
+def _cmd_densitymap(args: argparse.Namespace) -> int:
+    from repro.experiments.fig1 import run_fig1
+    from repro.viz.image import save_density_ppm
+
+    corpus = _load_or_generate(args)
+    result = run_fig1(corpus, cell_km=args.cell_km)
+    save_density_ppm(result.grid, args.out)
+    print(f"wrote density map to {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "stats": _cmd_stats,
+        "experiment": _cmd_experiment,
+        "epidemic": _cmd_epidemic,
+        "groundtruth": _cmd_groundtruth,
+        "validate": _cmd_validate,
+        "distance": _cmd_distance,
+        "temporal": _cmd_temporal,
+        "report": _cmd_report,
+        "health": _cmd_health,
+        "anonymize": _cmd_anonymize,
+        "densitymap": _cmd_densitymap,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

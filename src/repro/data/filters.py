@@ -1,0 +1,71 @@
+"""Stream filters for tweet corpora.
+
+The paper's collection step filters raw tweets down to the Australian
+bounding box (Table I).  These composable generators implement that and
+the other hygiene steps a real pipeline needs: time windows, minimum
+activity thresholds, and exact-duplicate removal.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+from repro.data.schema import Tweet
+from repro.geo.bbox import BoundingBox
+
+
+def filter_bbox(tweets: Iterable[Tweet], bbox: BoundingBox) -> Iterator[Tweet]:
+    """Keep only tweets whose geo-tag lies inside ``bbox``."""
+    for tweet in tweets:
+        if bbox.contains((tweet.lat, tweet.lon)):
+            yield tweet
+
+
+def filter_time_window(
+    tweets: Iterable[Tweet], start_ts: float, end_ts: float
+) -> Iterator[Tweet]:
+    """Keep tweets posted in ``[start_ts, end_ts)`` (Unix seconds)."""
+    if start_ts >= end_ts:
+        raise ValueError(f"empty window [{start_ts}, {end_ts})")
+    for tweet in tweets:
+        if start_ts <= tweet.timestamp < end_ts:
+            yield tweet
+
+
+def filter_min_tweets_per_user(tweets: Iterable[Tweet], minimum: int) -> list[Tweet]:
+    """Drop all tweets by users with fewer than ``minimum`` tweets.
+
+    Needs two passes over the stream, so it materialises the input and
+    returns a list rather than a generator.
+    """
+    if minimum < 1:
+        raise ValueError(f"minimum must be >= 1, got {minimum}")
+    materialised = list(tweets)
+    counts = Counter(tweet.user_id for tweet in materialised)
+    return [tweet for tweet in materialised if counts[tweet.user_id] >= minimum]
+
+
+def deduplicate(tweets: Iterable[Tweet]) -> Iterator[Tweet]:
+    """Drop exact duplicates (same user, timestamp and position).
+
+    Duplicates arise from collection-retry artefacts; the first occurrence
+    wins.  ``tweet_id`` is ignored so re-ingested copies with fresh ids
+    still collapse.
+    """
+    seen: set[tuple[int, float, float, float]] = set()
+    for tweet in tweets:
+        key = (tweet.user_id, tweet.timestamp, tweet.lat, tweet.lon)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield tweet
+
+
+def sort_chronologically(tweets: Iterable[Tweet]) -> list[Tweet]:
+    """Return tweets ordered by (user, timestamp, tweet_id).
+
+    Stable total order used before OD extraction, which relies on
+    per-user chronological adjacency.
+    """
+    return sorted(tweets, key=lambda t: (t.user_id, t.timestamp, t.tweet_id))

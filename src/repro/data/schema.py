@@ -1,0 +1,95 @@
+"""Tweet and user record types.
+
+A geo-tagged tweet, for the purposes of this study, is four numbers: who
+sent it, when, and where (latitude/longitude).  The paper uses no text or
+social-graph features, so neither do we.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.geo.coords import Coordinate, validate_latitude, validate_longitude
+
+
+class SchemaError(ValueError):
+    """Raised when a record's fields are out of range or inconsistent."""
+
+
+@dataclass(frozen=True, slots=True)
+class Tweet:
+    """One geo-tagged tweet.
+
+    Attributes
+    ----------
+    user_id:
+        Non-negative integer identifying the author.
+    timestamp:
+        Posting time as Unix seconds (float; sub-second precision kept).
+    lat, lon:
+        Geo-tag in decimal degrees; validated and longitude-normalised.
+    tweet_id:
+        Optional unique id; ``-1`` means "not assigned".
+    """
+
+    user_id: int
+    timestamp: float
+    lat: float
+    lon: float
+    tweet_id: int = -1
+
+    def __post_init__(self) -> None:
+        if self.user_id < 0:
+            raise SchemaError(f"user_id must be non-negative, got {self.user_id}")
+        if not math.isfinite(self.timestamp):
+            raise SchemaError(f"timestamp must be finite, got {self.timestamp!r}")
+        object.__setattr__(self, "lat", validate_latitude(self.lat))
+        object.__setattr__(self, "lon", validate_longitude(self.lon))
+
+    @property
+    def coordinate(self) -> Coordinate:
+        """The geo-tag as a :class:`~repro.geo.coords.Coordinate`."""
+        return Coordinate(lat=self.lat, lon=self.lon)
+
+
+@dataclass(frozen=True, slots=True)
+class UserSummary:
+    """Aggregate view of one user's activity in a corpus.
+
+    Produced by :meth:`repro.data.corpus.TweetCorpus.user_summaries`;
+    the fields mirror the per-user columns of Table I.
+    """
+
+    user_id: int
+    n_tweets: int
+    first_timestamp: float
+    last_timestamp: float
+    n_distinct_locations: int
+
+    @property
+    def active_span_seconds(self) -> float:
+        """Seconds between the user's first and last tweet."""
+        return self.last_timestamp - self.first_timestamp
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusStats:
+    """Corpus-level statistics — the row of Table I.
+
+    ``avg_waiting_time_hours`` is the mean time interval between a user's
+    consecutive tweets, averaged over all consecutive pairs in the corpus;
+    ``avg_locations_per_user`` counts distinct (rounded) geo-tags.
+    """
+
+    n_tweets: int
+    n_users: int
+    avg_tweets_per_user: float
+    avg_waiting_time_hours: float
+    avg_locations_per_user: float
+    min_lat: float = field(default=float("nan"))
+    max_lat: float = field(default=float("nan"))
+    min_lon: float = field(default=float("nan"))
+    max_lon: float = field(default=float("nan"))
+    first_timestamp: float = field(default=float("nan"))
+    last_timestamp: float = field(default=float("nan"))

@@ -1,0 +1,71 @@
+"""Metapopulation epidemic modelling on fitted mobility networks.
+
+The paper's introduction motivates the whole study with disease-spread
+prediction, and its conclusion promises "a framework for the prediction
+of disease spread" built on the fitted mobility models.  This subpackage
+implements that framework:
+
+``network``
+    Build a patch-coupling mobility network from observed OD flows or
+    from any fitted mobility model.
+``seir``
+    Deterministic metapopulation SEIR/SIR dynamics (RK4 integration)
+    with per-capita travel coupling.
+``simulation``
+    Stochastic chain-binomial simulation, outbreak seeding, arrival-time
+    measurement and multi-run summaries.
+"""
+
+from repro.epidemic.effective import (
+    effective_distance_matrix,
+    global_travel_scaling,
+    predicted_arrival_order,
+    restrict_travel,
+    transition_probabilities,
+)
+from repro.epidemic.inference import (
+    SirFit,
+    estimate_growth_rate,
+    fit_sir_curve,
+    r0_from_growth_rate,
+)
+from repro.epidemic.interventions import (
+    allocate_by_centrality,
+    allocate_by_population,
+    allocate_seed_ring,
+    evaluate_vaccination,
+)
+from repro.epidemic.network import MobilityNetwork, network_from_flows, network_from_model
+from repro.epidemic.seir import SEIRParams, SEIRResult, simulate_seir
+from repro.epidemic.simulation import (
+    OutbreakSummary,
+    StochasticResult,
+    arrival_times,
+    simulate_stochastic_sir,
+)
+
+__all__ = [
+    "MobilityNetwork",
+    "OutbreakSummary",
+    "SEIRParams",
+    "SEIRResult",
+    "SirFit",
+    "StochasticResult",
+    "allocate_by_centrality",
+    "allocate_by_population",
+    "allocate_seed_ring",
+    "arrival_times",
+    "evaluate_vaccination",
+    "effective_distance_matrix",
+    "estimate_growth_rate",
+    "fit_sir_curve",
+    "r0_from_growth_rate",
+    "global_travel_scaling",
+    "network_from_flows",
+    "network_from_model",
+    "predicted_arrival_order",
+    "restrict_travel",
+    "simulate_seir",
+    "simulate_stochastic_sir",
+    "transition_probabilities",
+]

@@ -1,0 +1,180 @@
+"""Deterministic metapopulation SEIR dynamics.
+
+Standard force-of-infection metapopulation model (Balcan et al. 2009,
+the paper's reference [1]): within each patch the disease follows SEIR
+compartments; between patches, infection pressure mixes through the
+per-capita travel rates of a :class:`~repro.epidemic.network.MobilityNetwork`.
+
+For patch ``i`` with population ``N_i``::
+
+    lambda_i = beta * (I_i + sum_j (w_ji I_j - w_ij I_i) ) / N_i   (effective)
+
+implemented as an explicit commuting approximation: the effective
+infectious density seen by patch ``i`` blends its own prevalence with
+its neighbours', weighted by travel rates.  Integration is fixed-step
+RK4 (deterministic, dependency-free, testable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.epidemic.network import MobilityNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class SEIRParams:
+    """Epidemiological rates (per day).
+
+    ``sigma`` (incubation rate) of ``inf`` collapses E instantly,
+    turning the model into plain SIR.
+    """
+
+    beta: float = 0.5
+    sigma: float = 0.25
+    gamma: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.beta < 0 or self.gamma <= 0:
+            raise ValueError("beta must be >= 0 and gamma > 0")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive (use math.inf for SIR)")
+
+    @property
+    def r0(self) -> float:
+        """Basic reproduction number beta / gamma."""
+        return self.beta / self.gamma
+
+
+@dataclass(frozen=True)
+class SEIRResult:
+    """Trajectories of all compartments.
+
+    Arrays are shaped ``(n_steps + 1, n_patches)``; ``times`` is in days.
+    """
+
+    times: np.ndarray
+    s: np.ndarray
+    e: np.ndarray
+    i: np.ndarray
+    r: np.ndarray
+    network: MobilityNetwork
+
+    @property
+    def attack_rate(self) -> np.ndarray:
+        """Final fraction of each patch ever infected."""
+        populations = self.network.populations
+        return (self.r[-1] + self.i[-1] + self.e[-1]) / populations
+
+    def peak_times(self) -> np.ndarray:
+        """Day of peak infectious prevalence per patch."""
+        return self.times[np.argmax(self.i, axis=0)]
+
+    def arrival_times(self, threshold: float = 1.0) -> np.ndarray:
+        """First day each patch's infectious count reaches ``threshold``.
+
+        Patches never reaching it get ``inf``.
+        """
+        out = np.full(self.network.n_patches, np.inf)
+        for patch in range(self.network.n_patches):
+            hits = np.nonzero(self.i[:, patch] >= threshold)[0]
+            if hits.size:
+                out[patch] = self.times[hits[0]]
+        return out
+
+
+def _effective_prevalence(
+    i: np.ndarray, populations: np.ndarray, rates: np.ndarray
+) -> np.ndarray:
+    """Infectious density each patch is exposed to, after travel mixing.
+
+    A fraction ``tau_i = sum_j rates[i, j]`` of patch i's person-time is
+    spent travelling, split across destinations; symmetric inbound terms
+    import neighbours' prevalence.  Rates are interpreted as the
+    fraction of time spent in each destination (capped so the row sum
+    cannot exceed 1).
+    """
+    out_fraction = rates.sum(axis=1)
+    cap = np.minimum(out_fraction, 0.95)
+    scale = np.divide(cap, out_fraction, out=np.zeros_like(cap), where=out_fraction > 0)
+    w = rates * scale[:, None]
+    stay = 1.0 - w.sum(axis=1)
+    # Effective prevalence in patch k's "airspace": residents staying
+    # plus visitors, over the effective mixing population.
+    visitors_i = w.T @ i
+    visitors_n = w.T @ populations
+    local_density = (stay * i + visitors_i) / (stay * populations + visitors_n)
+    # Residents experience their home density while staying and the
+    # destination densities while away.
+    return stay * local_density + w @ local_density
+
+
+def simulate_seir(
+    network: MobilityNetwork,
+    params: SEIRParams,
+    initial_infected: dict[int, float] | dict[str, float],
+    t_max_days: float = 365.0,
+    dt_days: float = 0.25,
+) -> SEIRResult:
+    """Integrate metapopulation SEIR with RK4.
+
+    ``initial_infected`` maps patch index (or patch name) to the number
+    of initially infectious individuals; everyone else starts
+    susceptible.
+    """
+    if t_max_days <= 0 or dt_days <= 0:
+        raise ValueError("need positive horizon and step")
+    n = network.n_patches
+    populations = network.populations.astype(np.float64)
+    i0 = np.zeros(n)
+    for key, count in initial_infected.items():
+        index = network.names.index(key) if isinstance(key, str) else int(key)
+        if count < 0:
+            raise ValueError("initial infections must be non-negative")
+        i0[index] = float(count)
+    if np.any(i0 > populations):
+        raise ValueError("cannot seed more infections than population")
+
+    n_steps = int(np.ceil(t_max_days / dt_days))
+    times = np.linspace(0.0, n_steps * dt_days, n_steps + 1)
+    s = np.empty((n_steps + 1, n))
+    e = np.empty((n_steps + 1, n))
+    i = np.empty((n_steps + 1, n))
+    r = np.empty((n_steps + 1, n))
+    s[0] = populations - i0
+    e[0] = 0.0
+    i[0] = i0
+    r[0] = 0.0
+
+    beta, sigma, gamma = params.beta, params.sigma, params.gamma
+    rates = network.rates
+    sir_mode = np.isinf(sigma)
+
+    def derivatives(state: np.ndarray) -> np.ndarray:
+        s_c, e_c, i_c = state[0], state[1], state[2]
+        lam = beta * _effective_prevalence(i_c, populations, rates)
+        new_infections = lam * s_c
+        if sir_mode:
+            ds = -new_infections
+            de = np.zeros_like(e_c)
+            di = new_infections - gamma * i_c
+        else:
+            ds = -new_infections
+            de = new_infections - sigma * e_c
+            di = sigma * e_c - gamma * i_c
+        dr = gamma * i_c
+        return np.stack([ds, de, di, dr])
+
+    state = np.stack([s[0], e[0], i[0], r[0]])
+    for step in range(1, n_steps + 1):
+        k1 = derivatives(state)
+        k2 = derivatives(state + 0.5 * dt_days * k1)
+        k3 = derivatives(state + 0.5 * dt_days * k2)
+        k4 = derivatives(state + dt_days * k3)
+        state = state + (dt_days / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+        np.clip(state, 0.0, None, out=state)
+        s[step], e[step], i[step], r[step] = state
+
+    return SEIRResult(times=times, s=s, e=e, i=i, r=r, network=network)

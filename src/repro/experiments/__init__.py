@@ -1,0 +1,61 @@
+"""Paper-artefact reproductions: one module per table/figure.
+
+Every experiment takes an :class:`~repro.experiments.scales.ExperimentContext`
+(a corpus plus cached spatial index / labels / flows) and returns a
+structured ``*Result`` object with a ``render()`` method producing the
+text the benchmark harness prints.
+
+* ``table1`` — dataset statistics (Table I)
+* ``fig1``   — tweet density map (Fig 1)
+* ``fig2``   — heavy-tailed tweeting dynamics (Fig 2)
+* ``fig3``   — Twitter population vs census at three scales (Fig 3a/3b)
+* ``fig4``   — model estimation scatter at three scales (Fig 4)
+* ``table2`` — model scores: Pearson upper, HitRate@50% lower (Table II)
+* ``runner`` — run everything on one corpus
+"""
+
+from repro.experiments.distance import DistanceAnalysisResult, run_distance_analysis
+from repro.experiments.epidemic_forecast import ForecastResult, run_forecast_experiment
+from repro.experiments.fig1 import Fig1Result, run_fig1
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.ground_truth import (
+    GroundTruthResult,
+    run_ground_truth_validation,
+    true_area_flows,
+)
+from repro.experiments.report import generate_report, reproduction_checklist
+from repro.experiments.runner import ExperimentSuiteResult, run_all_experiments
+from repro.experiments.scales import ExperimentContext, ScaleSpec, default_scale_specs
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import Table2Result, run_table2
+
+__all__ = [
+    "DistanceAnalysisResult",
+    "ExperimentContext",
+    "ExperimentSuiteResult",
+    "Fig1Result",
+    "ForecastResult",
+    "Fig2Result",
+    "Fig3Result",
+    "Fig4Result",
+    "GroundTruthResult",
+    "ScaleSpec",
+    "Table1Result",
+    "Table2Result",
+    "default_scale_specs",
+    "generate_report",
+    "reproduction_checklist",
+    "run_all_experiments",
+    "run_distance_analysis",
+    "run_forecast_experiment",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_ground_truth_validation",
+    "run_table1",
+    "run_table2",
+    "true_area_flows",
+]

@@ -1,0 +1,59 @@
+"""Run every paper artefact on one corpus."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.corpus import TweetCorpus
+from repro.experiments.fig1 import Fig1Result, run_fig1
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.scales import ExperimentContext
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import Table2Result, table2_from_fig4
+
+
+@dataclass(frozen=True)
+class ExperimentSuiteResult:
+    """All six paper artefacts measured on one corpus."""
+
+    table1: Table1Result
+    fig1: Fig1Result
+    fig2: Fig2Result
+    fig3: Fig3Result
+    fig4: Fig4Result
+    table2: Table2Result
+
+    def render(self) -> str:
+        """Every artefact's text rendering, in paper order."""
+        sections = [
+            self.table1.render(),
+            self.fig1.render(),
+            self.fig2.render(),
+            self.fig3.render(),
+            self.fig4.render(),
+            self.table2.render(),
+        ]
+        rule = "\n" + "=" * 78 + "\n"
+        return rule.join(sections)
+
+
+def run_all_experiments(corpus: TweetCorpus) -> ExperimentSuiteResult:
+    """Run Table I, Figs 1–4 and Table II on a corpus, sharing extraction.
+
+    The Fig 4 fits are reused by Table II, so the full suite costs one
+    spatial index build, one labelling pass per scale and one model fit
+    per (scale, model).
+    """
+    context = ExperimentContext(corpus)
+    fig4 = run_fig4(context)
+    table2 = table2_from_fig4(fig4)
+    return ExperimentSuiteResult(
+        table1=run_table1(corpus),
+        fig1=run_fig1(corpus),
+        fig2=run_fig2(corpus),
+        fig3=run_fig3(context),
+        fig4=fig4,
+        table2=table2,
+    )

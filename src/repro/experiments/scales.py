@@ -1,0 +1,108 @@
+"""Shared experiment context: the three scales plus cached extraction.
+
+Several experiments need the same expensive intermediates over one
+corpus — the spatial index, per-scale area labels, per-scale OD flows.
+:class:`ExperimentContext` computes each lazily and memoises it so a
+full experiment suite builds the index exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.corpus import TweetCorpus
+from repro.data.gazetteer import Area, Scale, areas_for_scale, search_radius_km
+from repro.extraction.mobility import ODFlows, extract_od_flows
+from repro.extraction.population import (
+    AreaObservation,
+    assign_tweets_to_areas,
+    extract_area_observations,
+)
+from repro.geo.index import GridIndex
+
+
+@dataclass(frozen=True, slots=True)
+class ScaleSpec:
+    """One geographic scale: its areas and its search radius ε."""
+
+    scale: Scale
+    areas: tuple[Area, ...]
+    radius_km: float
+
+    @property
+    def label(self) -> str:
+        """Capitalised scale name as the paper prints it."""
+        return self.scale.value.capitalize()
+
+
+def default_scale_specs() -> tuple[ScaleSpec, ...]:
+    """The paper's three scales with their Section III radii."""
+    return tuple(
+        ScaleSpec(
+            scale=scale,
+            areas=areas_for_scale(scale),
+            radius_km=search_radius_km(scale),
+        )
+        for scale in Scale
+    )
+
+
+class ExperimentContext:
+    """A corpus plus lazily cached per-scale extraction products."""
+
+    def __init__(self, corpus: TweetCorpus) -> None:
+        self.corpus = corpus
+        self.specs = default_scale_specs()
+        self._index: GridIndex | None = None
+        self._observations: dict[tuple[Scale, float], list[AreaObservation]] = {}
+        self._labels: dict[tuple[Scale, float], "object"] = {}
+        self._flows: dict[tuple[Scale, float], ODFlows] = {}
+
+    @property
+    def index(self) -> GridIndex:
+        """The spatial index over the corpus (built on first use)."""
+        if self._index is None:
+            self._index = GridIndex(self.corpus.lats, self.corpus.lons)
+        return self._index
+
+    def spec(self, scale: Scale) -> ScaleSpec:
+        """The spec for one scale."""
+        for spec in self.specs:
+            if spec.scale is scale:
+                return spec
+        raise KeyError(scale)
+
+    def observations(
+        self, scale: Scale, radius_km: float | None = None
+    ) -> list[AreaObservation]:
+        """Cached ε-radius area observations for a scale."""
+        spec = self.spec(scale)
+        radius = spec.radius_km if radius_km is None else radius_km
+        key = (scale, radius)
+        if key not in self._observations:
+            self._observations[key] = extract_area_observations(
+                self.corpus, spec.areas, radius, index=self.index
+            )
+        return self._observations[key]
+
+    def labels(self, scale: Scale, radius_km: float | None = None):
+        """Cached per-tweet area labels for a scale."""
+        spec = self.spec(scale)
+        radius = spec.radius_km if radius_km is None else radius_km
+        key = (scale, radius)
+        if key not in self._labels:
+            self._labels[key] = assign_tweets_to_areas(
+                self.corpus, spec.areas, radius, index=self.index
+            )
+        return self._labels[key]
+
+    def flows(self, scale: Scale, radius_km: float | None = None) -> ODFlows:
+        """Cached OD flows for a scale."""
+        spec = self.spec(scale)
+        radius = spec.radius_km if radius_km is None else radius_km
+        key = (scale, radius)
+        if key not in self._flows:
+            self._flows[key] = extract_od_flows(
+                self.corpus, self.labels(scale, radius), spec.areas
+            )
+        return self._flows[key]

@@ -1,0 +1,72 @@
+"""Table I — statistics of the dataset.
+
+The paper's Table I reports, for the Australian collection box and the
+Sept 2013 – Apr 2014 window: 6,304,176 tweets, 473,956 unique users,
+13.3 average tweets per user, 35.5 h average waiting time and 4.76
+average locations per user, plus the counts of users above 50/100/500/
+1000 tweets quoted in the text (23462, 10031, 766, 180).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.corpus import TweetCorpus
+from repro.data.schema import CorpusStats
+
+#: The paper's Table I values, for side-by-side reporting.
+PAPER_TABLE1 = {
+    "n_tweets": 6_304_176,
+    "n_users": 473_956,
+    "avg_tweets_per_user": 13.3,
+    "avg_waiting_time_hours": 35.5,
+    "avg_locations_per_user": 4.76,
+}
+
+#: Activity thresholds quoted in Section II with the paper's user counts.
+PAPER_ACTIVITY_BUCKETS = {50: 23_462, 100: 10_031, 500: 766, 1000: 180}
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Measured Table I statistics plus heavy-user bucket counts."""
+
+    stats: CorpusStats
+    activity_buckets: dict[int, int]
+
+    def render(self) -> str:
+        """The Table I row, measured vs paper."""
+        s = self.stats
+        lines = [
+            "Table I — statistics of the dataset (measured vs paper)",
+            f"{'':28s}{'measured':>14s}{'paper':>14s}",
+            f"{'No. Tweets':28s}{s.n_tweets:>14,}{PAPER_TABLE1['n_tweets']:>14,}",
+            f"{'No. unique users':28s}{s.n_users:>14,}{PAPER_TABLE1['n_users']:>14,}",
+            f"{'Avg. Tweets / user':28s}{s.avg_tweets_per_user:>14.2f}"
+            f"{PAPER_TABLE1['avg_tweets_per_user']:>14.1f}",
+            f"{'Avg. waiting time (h)':28s}{s.avg_waiting_time_hours:>14.1f}"
+            f"{PAPER_TABLE1['avg_waiting_time_hours']:>14.1f}",
+            f"{'Avg. locations / user':28s}{s.avg_locations_per_user:>14.2f}"
+            f"{PAPER_TABLE1['avg_locations_per_user']:>14.2f}",
+            f"{'Longitude range':28s}"
+            f"{f'[{s.min_lon:.2f}, {s.max_lon:.2f}]':>28s}",
+            f"{'Latitude range':28s}"
+            f"{f'[{s.min_lat:.2f}, {s.max_lat:.2f}]':>28s}",
+            "",
+            "Users with at least N tweets (measured vs paper @473,956 users):",
+        ]
+        for threshold, paper_count in PAPER_ACTIVITY_BUCKETS.items():
+            measured = self.activity_buckets[threshold]
+            lines.append(f"  >= {threshold:>5d}: {measured:>8,}   (paper: {paper_count:,})")
+        return "\n".join(lines)
+
+
+def run_table1(corpus: TweetCorpus) -> Table1Result:
+    """Measure the Table I statistics on a corpus."""
+    return Table1Result(
+        stats=corpus.stats(),
+        activity_buckets={
+            threshold: corpus.users_with_at_least(threshold)
+            for threshold in PAPER_ACTIVITY_BUCKETS
+        },
+    )

@@ -1,0 +1,110 @@
+"""Table II — model performance: Pearson (upper) and HitRate@50% (lower).
+
+The paper's Table II, with the best value per scale/metric highlighted:
+
+    =============  Gravity 4Param  Gravity 2Param  Radiation
+    National        0.877 / 0.330   0.912*/ 0.397*  0.840 / 0.184
+    State           0.893 / 0.487*  0.896*/ 0.397   0.742 / 0.166
+    Metropolitan    0.948 / 0.530   0.963*/ 0.600*  0.918 / 0.397
+
+Headline qualitative findings this reproduction must preserve: the
+gravity family beats Radiation at every scale, and Gravity 2Param is the
+best overall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.corpus import TweetCorpus
+from repro.data.gazetteer import Scale
+from repro.experiments.fig4 import MODEL_ORDER, Fig4Result, run_fig4
+from repro.experiments.scales import ExperimentContext
+
+#: The paper's Table II cells as (pearson, hit_rate) per scale and model.
+PAPER_TABLE2 = {
+    (Scale.NATIONAL, "Gravity 4Param"): (0.877, 0.330),
+    (Scale.NATIONAL, "Gravity 2Param"): (0.912, 0.397),
+    (Scale.NATIONAL, "Radiation"): (0.840, 0.184),
+    (Scale.STATE, "Gravity 4Param"): (0.893, 0.487),
+    (Scale.STATE, "Gravity 2Param"): (0.896, 0.397),
+    (Scale.STATE, "Radiation"): (0.742, 0.166),
+    (Scale.METROPOLITAN, "Gravity 4Param"): (0.948, 0.530),
+    (Scale.METROPOLITAN, "Gravity 2Param"): (0.963, 0.600),
+    (Scale.METROPOLITAN, "Radiation"): (0.918, 0.397),
+}
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Measured (pearson, hit_rate) per scale × model, plus the Fig 4 data."""
+
+    cells: dict[tuple[Scale, str], tuple[float, float]]
+    fig4: Fig4Result
+
+    def best_model_by_pearson(self, scale: Scale) -> str:
+        """The winning model at a scale by Pearson correlation."""
+        return max(MODEL_ORDER, key=lambda name: self.cells[(scale, name)][0])
+
+    def gravity_beats_radiation(self) -> bool:
+        """Whether some gravity variant beats Radiation at every scale.
+
+        This is the paper's headline qualitative claim (contradicting
+        Simini et al.'s universality of the radiation model).
+        """
+        for scale in Scale:
+            radiation_r = self.cells[(scale, "Radiation")][0]
+            best_gravity_r = max(
+                self.cells[(scale, "Gravity 4Param")][0],
+                self.cells[(scale, "Gravity 2Param")][0],
+            )
+            if best_gravity_r <= radiation_r:
+                return False
+        return True
+
+    def render(self) -> str:
+        """Measured vs paper Table II, best-per-row marked with ``*``."""
+        lines = [
+            "Table II — Pearson (upper) / HitRate@50% (lower), measured [paper]",
+            f"{'':14s}" + "".join(f"{name:>24s}" for name in MODEL_ORDER),
+        ]
+        for scale in Scale:
+            best_r = max(self.cells[(scale, name)][0] for name in MODEL_ORDER)
+            best_h = max(self.cells[(scale, name)][1] for name in MODEL_ORDER)
+            r_row = f"{scale.value.capitalize():14s}"
+            h_row = f"{'':14s}"
+            for name in MODEL_ORDER:
+                r, h = self.cells[(scale, name)]
+                pr, ph = PAPER_TABLE2[(scale, name)]
+                r_mark = "*" if r == best_r else " "
+                h_mark = "*" if h == best_h else " "
+                r_row += f"{f'{r:.3f}{r_mark} [{pr:.3f}]':>24s}"
+                h_row += f"{f'{h:.3f}{h_mark} [{ph:.3f}]':>24s}"
+            lines.append(r_row)
+            lines.append(h_row)
+        lines.append("")
+        verdict = "holds" if self.gravity_beats_radiation() else "DOES NOT hold"
+        lines.append(
+            f"Headline claim (Gravity beats Radiation at every scale): {verdict}"
+        )
+        return "\n".join(lines)
+
+
+def table2_from_fig4(fig4: Fig4Result) -> Table2Result:
+    """Tabulate Table II from already-computed Fig 4 panels."""
+    cells = {
+        key: (panel.evaluation.pearson_r, panel.evaluation.hit_rate_50)
+        for key, panel in fig4.panels.items()
+    }
+    return Table2Result(cells=cells, fig4=fig4)
+
+
+def run_table2(
+    corpus_or_context: TweetCorpus | ExperimentContext, min_flow: int = 1
+) -> Table2Result:
+    """Fit/evaluate all models at all scales and tabulate the scores."""
+    if isinstance(corpus_or_context, ExperimentContext):
+        context = corpus_or_context
+    else:
+        context = ExperimentContext(corpus_or_context)
+    return table2_from_fig4(run_fig4(context, min_flow=min_flow))

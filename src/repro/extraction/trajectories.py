@@ -1,0 +1,109 @@
+"""Per-user spatial trajectories and displacement statistics.
+
+Supporting analysis beyond the paper's figures: jump-length
+distributions and radius of gyration are the standard mobility
+diagnostics (González et al. 2008) and are used by the extension
+benchmarks to sanity-check the synthetic travel process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.corpus import TweetCorpus
+from repro.geo.distance import EARTH_RADIUS_KM, consecutive_distances_km
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """One user's chronologically ordered positions."""
+
+    user_id: int
+    timestamps: np.ndarray
+    lats: np.ndarray
+    lons: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.timestamps.size)
+
+    def jump_lengths_km(self) -> np.ndarray:
+        """Haversine distance of each consecutive hop."""
+        return consecutive_distances_km(self.lats, self.lons)
+
+    def total_distance_km(self) -> float:
+        """Sum of all hop lengths."""
+        jumps = self.jump_lengths_km()
+        return float(jumps.sum()) if jumps.size else 0.0
+
+
+def user_trajectory(corpus: TweetCorpus, user_id: int) -> Trajectory:
+    """Extract one user's trajectory from a corpus."""
+    rows = corpus.user_slice(user_id)
+    return Trajectory(
+        user_id=user_id,
+        timestamps=corpus.timestamps[rows].copy(),
+        lats=corpus.lats[rows].copy(),
+        lons=corpus.lons[rows].copy(),
+    )
+
+
+def radius_of_gyration(trajectory: Trajectory) -> float:
+    """RMS distance of a trajectory's points from their centre of mass (km).
+
+    The centre of mass is computed on the unit sphere (mean of the 3-D
+    unit vectors), which is exact for any spread of points; distances
+    from it use the haversine formula.
+    """
+    if len(trajectory) == 0:
+        return 0.0
+    lat_rad = np.radians(trajectory.lats)
+    lon_rad = np.radians(trajectory.lons)
+    x = np.cos(lat_rad) * np.cos(lon_rad)
+    y = np.cos(lat_rad) * np.sin(lon_rad)
+    z = np.sin(lat_rad)
+    cx, cy, cz = x.mean(), y.mean(), z.mean()
+    norm = np.sqrt(cx * cx + cy * cy + cz * cz)
+    if norm < 1e-12:
+        # Degenerate (antipodally balanced) cloud; fall back to first point.
+        center_lat, center_lon = trajectory.lats[0], trajectory.lons[0]
+    else:
+        center_lat = np.degrees(np.arcsin(cz / norm))
+        center_lon = np.degrees(np.arctan2(cy / norm, cx / norm))
+    from repro.geo.distance import points_to_point_km
+
+    dists = points_to_point_km(trajectory.lats, trajectory.lons, (center_lat, center_lon))
+    return float(np.sqrt((dists**2).mean()))
+
+
+def displacement_distribution(
+    corpus: TweetCorpus, min_km: float = 0.001
+) -> np.ndarray:
+    """All per-user consecutive-tweet displacements pooled corpus-wide (km).
+
+    Displacements below ``min_km`` (same-point re-posts) are dropped —
+    they dominate raw counts because users tweet repeatedly from
+    favourite points, and carry no movement information.
+    """
+    if len(corpus) < 2:
+        return np.empty(0, dtype=np.float64)
+    phi = np.radians(corpus.lats)
+    dphi = np.diff(phi)
+    dlmb = np.radians(np.diff(corpus.lons))
+    h = np.sin(dphi / 2.0) ** 2 + np.cos(phi[:-1]) * np.cos(phi[1:]) * np.sin(dlmb / 2.0) ** 2
+    np.clip(h, 0.0, 1.0, out=h)
+    jumps = 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(h))
+    same_user = corpus.user_ids[1:] == corpus.user_ids[:-1]
+    jumps = jumps[same_user]
+    return jumps[jumps >= min_km]
+
+
+def mean_radius_of_gyration(corpus: TweetCorpus, min_tweets: int = 2) -> float:
+    """Average radius of gyration over users with enough tweets."""
+    radii = []
+    for user_id in corpus.unique_users:
+        trajectory = user_trajectory(corpus, int(user_id))
+        if len(trajectory) >= min_tweets:
+            radii.append(radius_of_gyration(trajectory))
+    return float(np.mean(radii)) if radii else 0.0

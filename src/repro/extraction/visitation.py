@@ -1,0 +1,177 @@
+"""Visitation statistics: exploration, returns, and place popularity.
+
+Classic individual-mobility diagnostics (González et al. 2008; Song et
+al. 2010), applied to the tweet stream:
+
+* **return fraction** — how many consecutive-tweet moves return to an
+  already-visited place (the generator's ``trip_return_bias`` should be
+  recoverable);
+* **place-frequency Zipf** — a user's k-th most visited place receives
+  a frequency ``f_k ∝ k^-zeta``;
+* **exploration curve** — distinct places visited as a function of
+  tweets posted, S(n) ∝ n^mu with mu < 1 (preferential return).
+
+All operate on rounded geo-tags, the same "place" notion Table I's
+locations-per-user column uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.corpus import TweetCorpus
+
+
+def _place_codes(corpus: TweetCorpus, round_decimals: int) -> np.ndarray:
+    """An integer place id per tweet (rounded lat/lon pairs)."""
+    lats = np.round(corpus.lats, round_decimals)
+    lons = np.round(corpus.lons, round_decimals)
+    pairs = np.stack([lats, lons], axis=1)
+    _unique, codes = np.unique(pairs, axis=0, return_inverse=True)
+    return codes
+
+
+def return_fraction(corpus: TweetCorpus, round_decimals: int = 3) -> float:
+    """Fraction of place *changes* that land on an already-visited place.
+
+    Consecutive same-place tweets are not moves; of the rest, a move is
+    a "return" when its destination already appears in the user's
+    history.  High values signal the commute-and-return behaviour the
+    generator's ``trip_return_bias`` injects.
+    """
+    codes = _place_codes(corpus, round_decimals)
+    returns = 0
+    moves = 0
+    for user_id in corpus.unique_users:
+        rows = corpus.user_slice(int(user_id))
+        user_codes = codes[rows]
+        seen: set[int] = set()
+        previous = None
+        for code in user_codes:
+            code = int(code)
+            if previous is not None and code != previous:
+                moves += 1
+                if code in seen:
+                    returns += 1
+            seen.add(code)
+            previous = code
+    if moves == 0:
+        return 0.0
+    return returns / moves
+
+
+@dataclass(frozen=True)
+class VisitationZipf:
+    """Average visit share of the k-th favourite place, with a tail fit."""
+
+    ranks: np.ndarray
+    mean_share: np.ndarray
+    zipf_exponent: float
+    n_users: int
+
+
+def visitation_zipf(
+    corpus: TweetCorpus,
+    max_rank: int = 10,
+    min_tweets: int = 10,
+    round_decimals: int = 3,
+) -> VisitationZipf:
+    """Mean visit share by place rank, over sufficiently active users.
+
+    The exponent is a least-squares slope of ``log share`` on
+    ``log rank``; González et al. report ζ ≈ 1.2 for phone users.
+    """
+    if max_rank < 2:
+        raise ValueError("need max_rank >= 2")
+    codes = _place_codes(corpus, round_decimals)
+    shares = np.zeros(max_rank)
+    counts = np.zeros(max_rank)
+    n_users = 0
+    for user_id in corpus.unique_users:
+        rows = corpus.user_slice(int(user_id))
+        if rows.stop - rows.start < min_tweets:
+            continue
+        n_users += 1
+        _places, place_counts = np.unique(codes[rows], return_counts=True)
+        ordered = np.sort(place_counts)[::-1]
+        total = ordered.sum()
+        top = ordered[:max_rank]
+        shares[: top.size] += top / total
+        counts[: top.size] += 1
+    if n_users == 0:
+        return VisitationZipf(
+            ranks=np.arange(1, max_rank + 1),
+            mean_share=np.zeros(max_rank),
+            zipf_exponent=0.0,
+            n_users=0,
+        )
+    occupied = counts > 0
+    mean_share = np.zeros(max_rank)
+    mean_share[occupied] = shares[occupied] / counts[occupied]
+    ranks = np.arange(1, max_rank + 1)
+    keep = mean_share > 0
+    if keep.sum() >= 2:
+        slope, _intercept = np.polyfit(
+            np.log(ranks[keep]), np.log(mean_share[keep]), deg=1
+        )
+        exponent = float(-slope)
+    else:
+        exponent = 0.0
+    return VisitationZipf(
+        ranks=ranks, mean_share=mean_share, zipf_exponent=exponent, n_users=n_users
+    )
+
+
+@dataclass(frozen=True)
+class ExplorationCurve:
+    """Mean distinct places after n tweets, with a sublinearity exponent."""
+
+    n_tweets: np.ndarray
+    mean_distinct_places: np.ndarray
+    growth_exponent: float
+
+
+def exploration_curve(
+    corpus: TweetCorpus,
+    checkpoints: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+    round_decimals: int = 3,
+) -> ExplorationCurve:
+    """S(n): average distinct places seen within a user's first n tweets.
+
+    The growth exponent is the log-log slope across checkpoints; values
+    well below 1 indicate preferential return (users mostly revisit).
+    """
+    codes = _place_codes(corpus, round_decimals)
+    checkpoints_array = np.array(sorted(checkpoints))
+    sums = np.zeros(checkpoints_array.size)
+    counts = np.zeros(checkpoints_array.size)
+    for user_id in corpus.unique_users:
+        rows = corpus.user_slice(int(user_id))
+        user_codes = codes[rows]
+        seen: set[int] = set()
+        distinct_at = np.empty(user_codes.size, dtype=np.int64)
+        for i, code in enumerate(user_codes):
+            seen.add(int(code))
+            distinct_at[i] = len(seen)
+        for j, checkpoint in enumerate(checkpoints_array):
+            if user_codes.size >= checkpoint:
+                sums[j] += distinct_at[checkpoint - 1]
+                counts[j] += 1
+    occupied = counts > 0
+    means = np.zeros(checkpoints_array.size)
+    means[occupied] = sums[occupied] / counts[occupied]
+    keep = occupied & (means > 0) & (checkpoints_array > 1)
+    if keep.sum() >= 2:
+        slope, _intercept = np.polyfit(
+            np.log(checkpoints_array[keep]), np.log(means[keep]), deg=1
+        )
+        exponent = float(slope)
+    else:
+        exponent = 0.0
+    return ExplorationCurve(
+        n_tweets=checkpoints_array,
+        mean_distinct_places=means,
+        growth_exponent=exponent,
+    )

@@ -1,0 +1,212 @@
+"""ε-radius spatial queries.
+
+Population extraction (Section III of the paper) asks, for each of 60
+area centres, which tweets fall within a search radius ε (50 km, 25 km,
+2 km or 0.5 km depending on scale).  Over a multi-million-tweet corpus a
+brute-force scan per centre is wasteful, so two index implementations are
+provided:
+
+* :class:`BruteForceIndex` — vectorised haversine over every point.
+  Simple, obviously correct; used as the reference in tests and in the
+  A2 ablation benchmark.
+* :class:`GridIndex` — points are bucketed into a uniform lat/lon grid;
+  a query visits only the cells intersecting the query disc's bounding
+  box, then applies the exact haversine filter.  Results are identical
+  to brute force (property-tested), just faster for small radii.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.coords import Coordinate
+from repro.geo.distance import EARTH_RADIUS_KM, points_to_point_km
+from repro.geo.grid import GridSpec
+
+_CoordLike = Coordinate | tuple[float, float]
+
+
+@dataclass(frozen=True, slots=True)
+class RadiusQueryResult:
+    """Points found within a query radius.
+
+    Attributes
+    ----------
+    indices:
+        Positions (into the arrays the index was built from) of the
+        matching points, in ascending index order.
+    distances_km:
+        Haversine distance of each matching point from the query centre,
+        aligned with ``indices``.
+    """
+
+    indices: np.ndarray
+    distances_km: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.indices.size)
+
+
+def _as_latlon(center: _CoordLike) -> tuple[float, float]:
+    if isinstance(center, Coordinate):
+        return center.lat, center.lon
+    return float(center[0]), float(center[1])
+
+
+class BruteForceIndex:
+    """Exact radius queries by scanning every point.
+
+    The reference implementation: every query computes the vectorised
+    haversine distance from all points to the centre and filters.
+    """
+
+    def __init__(self, lats_deg: np.ndarray, lons_deg: np.ndarray) -> None:
+        self._lats = np.asarray(lats_deg, dtype=np.float64)
+        self._lons = np.asarray(lons_deg, dtype=np.float64)
+        if self._lats.shape != self._lons.shape or self._lats.ndim != 1:
+            raise ValueError("lats/lons must be equal-length 1-D arrays")
+
+    def __len__(self) -> int:
+        return int(self._lats.size)
+
+    def query_radius(self, center: _CoordLike, radius_km: float) -> RadiusQueryResult:
+        """All points within ``radius_km`` of ``center`` (boundary inclusive)."""
+        if radius_km < 0:
+            raise ValueError(f"radius must be non-negative, got {radius_km}")
+        dists = points_to_point_km(self._lats, self._lons, center)
+        mask = dists <= radius_km
+        indices = np.nonzero(mask)[0]
+        return RadiusQueryResult(indices=indices, distances_km=dists[indices])
+
+    def count_radius(self, center: _CoordLike, radius_km: float) -> int:
+        """Number of points within the radius (cheaper than a full query)."""
+        if radius_km < 0:
+            raise ValueError(f"radius must be non-negative, got {radius_km}")
+        dists = points_to_point_km(self._lats, self._lons, center)
+        return int((dists <= radius_km).sum())
+
+
+class GridIndex:
+    """Grid-accelerated radius queries with exact haversine filtering.
+
+    Points are grouped by grid cell at build time.  A query expands the
+    query disc into a conservative rectangle of candidate cells — with the
+    longitude margin widened by the cosine of the query latitude — and
+    runs the exact distance filter only on candidates.
+    """
+
+    def __init__(
+        self,
+        lats_deg: np.ndarray,
+        lons_deg: np.ndarray,
+        spec: GridSpec | None = None,
+        target_points_per_cell: float = 64.0,
+    ) -> None:
+        self._lats = np.asarray(lats_deg, dtype=np.float64)
+        self._lons = np.asarray(lons_deg, dtype=np.float64)
+        if self._lats.shape != self._lons.shape or self._lats.ndim != 1:
+            raise ValueError("lats/lons must be equal-length 1-D arrays")
+        if spec is None:
+            spec = self._auto_spec(target_points_per_cell)
+        self.spec = spec
+        self._build_buckets()
+
+    def _auto_spec(self, target_points_per_cell: float) -> GridSpec:
+        """Choose a grid so the average occupied cell holds a modest count."""
+        n = max(1, self._lats.size)
+        if self._lats.size == 0:
+            bbox = BoundingBox(min_lat=-90, max_lat=90, min_lon=-180, max_lon=180)
+            return GridSpec(bbox=bbox, n_rows=1, n_cols=1)
+        bbox = BoundingBox(
+            min_lat=float(self._lats.min()),
+            max_lat=float(self._lats.max()),
+            min_lon=float(self._lons.min()),
+            max_lon=float(self._lons.max()),
+        ).expanded(1e-9)
+        n_cells = max(1, int(n / max(target_points_per_cell, 1.0)))
+        side = max(1, int(np.sqrt(n_cells)))
+        return GridSpec(bbox=bbox, n_rows=side, n_cols=side)
+
+    def _build_buckets(self) -> None:
+        """Sort point indices by cell id so each bucket is one slice."""
+        n = self._lats.size
+        if n == 0:
+            self._order = np.empty(0, dtype=np.int64)
+            self._cell_ids_sorted = np.empty(0, dtype=np.int64)
+            self._bucket_starts = {}
+            return
+        cells = self.spec.cells_of(self._lats, self._lons)
+        cell_ids = cells[:, 0] * self.spec.n_cols + cells[:, 1]
+        cell_ids[cells[:, 0] < 0] = -1
+        order = np.argsort(cell_ids, kind="stable")
+        self._order = order
+        self._cell_ids_sorted = cell_ids[order]
+        # Map each occupied cell id to its [start, stop) slice in the order.
+        unique_ids, starts = np.unique(self._cell_ids_sorted, return_index=True)
+        stops = np.append(starts[1:], n)
+        self._bucket_starts = {
+            int(cid): (int(start), int(stop))
+            for cid, start, stop in zip(unique_ids, starts, stops)
+            if cid >= 0
+        }
+
+    def __len__(self) -> int:
+        return int(self._lats.size)
+
+    def _candidate_indices(self, center: _CoordLike, radius_km: float) -> np.ndarray:
+        """Indices of points in all cells intersecting the query rectangle."""
+        clat, clon = _as_latlon(center)
+        km_per_deg_lat = np.pi * EARTH_RADIUS_KM / 180.0
+        margin_lat = radius_km / km_per_deg_lat
+        cos_lat = max(np.cos(np.radians(clat)), 1e-9)
+        margin_lon = radius_km / (km_per_deg_lat * cos_lat)
+        spec = self.spec
+        lo_row = int(np.floor((clat - margin_lat - spec.bbox.min_lat) / spec.cell_height_deg))
+        hi_row = int(np.floor((clat + margin_lat - spec.bbox.min_lat) / spec.cell_height_deg))
+        lo_col = int(np.floor((clon - margin_lon - spec.bbox.min_lon) / spec.cell_width_deg))
+        hi_col = int(np.floor((clon + margin_lon - spec.bbox.min_lon) / spec.cell_width_deg))
+        lo_row = max(lo_row, 0)
+        lo_col = max(lo_col, 0)
+        hi_row = min(hi_row, spec.n_rows - 1)
+        hi_col = min(hi_col, spec.n_cols - 1)
+        if lo_row > hi_row or lo_col > hi_col:
+            return np.empty(0, dtype=np.int64)
+        chunks = []
+        for row in range(lo_row, hi_row + 1):
+            base = row * spec.n_cols
+            for col in range(lo_col, hi_col + 1):
+                bucket = self._bucket_starts.get(base + col)
+                if bucket is not None:
+                    chunks.append(self._order[bucket[0] : bucket[1]])
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    def query_radius(self, center: _CoordLike, radius_km: float) -> RadiusQueryResult:
+        """All indexed points within ``radius_km`` of ``center``.
+
+        Returns exactly the same set as :class:`BruteForceIndex` on the
+        same data (indices sorted ascending), assuming all points fell
+        inside the index's grid box at build time.
+        """
+        if radius_km < 0:
+            raise ValueError(f"radius must be non-negative, got {radius_km}")
+        candidates = self._candidate_indices(center, radius_km)
+        if candidates.size == 0:
+            return RadiusQueryResult(
+                indices=np.empty(0, dtype=np.int64),
+                distances_km=np.empty(0, dtype=np.float64),
+            )
+        dists = points_to_point_km(self._lats[candidates], self._lons[candidates], center)
+        mask = dists <= radius_km
+        hits = candidates[mask]
+        hit_dists = dists[mask]
+        order = np.argsort(hits, kind="stable")
+        return RadiusQueryResult(indices=hits[order], distances_km=hit_dists[order])
+
+    def count_radius(self, center: _CoordLike, radius_km: float) -> int:
+        """Number of indexed points within the radius."""
+        return len(self.query_radius(center, radius_km))

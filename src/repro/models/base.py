@@ -1,0 +1,89 @@
+"""The model interface and shared fitting helpers.
+
+A :class:`MobilityModel` is a fitter: ``fit(pairs)`` consumes observed
+(m, n, d, T) tuples and returns a :class:`FittedMobilityModel`, which
+can ``predict(pairs)`` scaled flow estimates for any pair set with the
+same fields.  Keeping fit and predict on separate objects makes
+train/test splits and cross-scale transfer (fit national, predict state)
+one-liners.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.extraction.mobility import ODPairs
+
+
+class ModelFitError(ValueError):
+    """Raised when a dataset cannot support the requested fit."""
+
+
+class FittedMobilityModel(ABC):
+    """A model with all parameters bound, ready to estimate flows."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Human-readable model name (e.g. "Gravity 2Param")."""
+
+    @abstractmethod
+    def predict(self, pairs: ODPairs) -> np.ndarray:
+        """Scaled flow estimates for each pair, aligned with ``pairs``."""
+
+
+class MobilityModel(ABC):
+    """A fitter producing :class:`FittedMobilityModel` instances."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Human-readable model name."""
+
+    @abstractmethod
+    def fit(self, pairs: ODPairs) -> FittedMobilityModel:
+        """Estimate parameters from observed pairs (log-space LSQ)."""
+
+
+def positive_pairs_mask(pairs: ODPairs) -> np.ndarray:
+    """Pairs usable by a log-space fit: positive flow, masses, distance."""
+    return (pairs.flow > 0) & (pairs.m > 0) & (pairs.n > 0) & (pairs.d_km > 0)
+
+
+def fit_log_linear(design: np.ndarray, log_flow: np.ndarray) -> np.ndarray:
+    """Least-squares coefficients of ``log_flow ≈ design @ coef``.
+
+    ``design`` is an ``(n, k)`` matrix whose first column is usually the
+    all-ones intercept column (giving ``log C``).  Raises
+    :class:`ModelFitError` when there are fewer observations than
+    coefficients.
+    """
+    design = np.asarray(design, dtype=np.float64)
+    log_flow = np.asarray(log_flow, dtype=np.float64)
+    if design.ndim != 2 or design.shape[0] != log_flow.size:
+        raise ModelFitError(
+            f"design {design.shape} incompatible with {log_flow.size} observations"
+        )
+    if design.shape[0] < design.shape[1]:
+        raise ModelFitError(
+            f"need at least {design.shape[1]} observations, got {design.shape[0]}"
+        )
+    coef, *_ = np.linalg.lstsq(design, log_flow, rcond=None)
+    return coef
+
+
+def fit_log_scale(log_flow: np.ndarray, log_base: np.ndarray) -> float:
+    """The log-space optimal scale: ``log C = mean(log T - log base)``.
+
+    Used by models whose functional form has no free shape parameters
+    (Radiation), where only the overall proportionality constant is fit.
+    """
+    log_flow = np.asarray(log_flow, dtype=np.float64)
+    log_base = np.asarray(log_base, dtype=np.float64)
+    if log_flow.shape != log_base.shape:
+        raise ModelFitError(f"shape mismatch: {log_flow.shape} vs {log_base.shape}")
+    if log_flow.size == 0:
+        raise ModelFitError("cannot fit a scale to zero observations")
+    return float(np.mean(log_flow - log_base))

@@ -1,0 +1,86 @@
+"""Log-space stacking of mobility models.
+
+Does the radiation model carry information gravity misses?  A direct
+way to ask: fit a stacked regressor
+
+    log T  ≈  c + a · log T_gravity + b · log T_radiation
+
+by least squares.  If ``b`` is near zero, radiation's predictions add
+nothing on top of gravity's — which is what the Australian data shows
+(tested).  The stack is itself a usable model (it can only improve the
+in-sample log-SSE over either member).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.extraction.mobility import ODPairs
+from repro.models.base import (
+    FittedMobilityModel,
+    MobilityModel,
+    ModelFitError,
+    fit_log_linear,
+    positive_pairs_mask,
+)
+
+
+class FittedStack(FittedMobilityModel):
+    """A fitted log-space stack over member models."""
+
+    def __init__(
+        self, members: tuple[FittedMobilityModel, ...], coefficients: np.ndarray
+    ) -> None:
+        self.members = members
+        self.coefficients = coefficients
+
+    @property
+    def name(self) -> str:
+        return "Stacked(" + " + ".join(m.name for m in self.members) + ")"
+
+    def member_weight(self, member_name: str) -> float:
+        """The fitted exponent on one member's predictions."""
+        for member, weight in zip(self.members, self.coefficients[1:]):
+            if member.name == member_name:
+                return float(weight)
+        raise KeyError(member_name)
+
+    def predict(self, pairs: ODPairs) -> np.ndarray:
+        """``exp(c) · Π member_i(pairs) ** a_i`` with a positivity floor."""
+        log_estimate = np.full(len(pairs), float(self.coefficients[0]))
+        for member, weight in zip(self.members, self.coefficients[1:]):
+            member_prediction = np.maximum(member.predict(pairs), 1e-300)
+            log_estimate = log_estimate + weight * np.log(member_prediction)
+        return np.exp(log_estimate)
+
+
+class StackedModel(MobilityModel):
+    """Fit member models, then least-squares their log predictions.
+
+    Members are *fitters*; each is fitted on the same pairs before
+    stacking, so the stack is a fair in-sample combination (for held-out
+    use, wrap in :func:`repro.models.selection.k_fold_cross_validate`).
+    """
+
+    def __init__(self, members: list[MobilityModel]) -> None:
+        if len(members) < 2:
+            raise ValueError("a stack needs at least two member models")
+        self.members = list(members)
+
+    @property
+    def name(self) -> str:
+        return "Stacked(" + " + ".join(m.name for m in self.members) + ")"
+
+    def fit(self, pairs: ODPairs) -> FittedStack:
+        keep = positive_pairs_mask(pairs)
+        n_obs = int(keep.sum())
+        if n_obs < len(self.members) + 1:
+            raise ModelFitError("too few positive pairs for stacking")
+        fitted_members = tuple(member.fit(pairs) for member in self.members)
+        columns = [np.ones(n_obs)]
+        for fitted in fitted_members:
+            prediction = np.maximum(fitted.predict(pairs)[keep], 1e-300)
+            columns.append(np.log(prediction))
+        design = np.column_stack(columns)
+        coefficients = fit_log_linear(design, np.log(pairs.flow[keep]))
+        return FittedStack(fitted_members, coefficients)

@@ -1,0 +1,66 @@
+"""Concentration statistics: Lorenz curves, Gini, top-share.
+
+Section II of the paper: "the tweeting behaviors of the Australian
+population also exhibit the Pareto principle" — a small fraction of
+users produces most tweets.  These estimators quantify that claim:
+
+* :func:`lorenz_curve` — cumulative share of tweets vs share of users;
+* :func:`gini_coefficient` — 0 (everyone equal) to 1 (one user posts
+  everything);
+* :func:`top_share` — the fraction of activity from the top q of users
+  (the "80/20" number itself).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def lorenz_curve(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative population share vs cumulative value share.
+
+    Returns ``(population_share, value_share)`` arrays of length
+    ``n + 1`` starting at (0, 0) and ending at (1, 1); values must be
+    non-negative with a positive sum.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot compute a Lorenz curve of nothing")
+    if np.any(values < 0):
+        raise ValueError("values must be non-negative")
+    total = values.sum()
+    if total <= 0:
+        raise ValueError("values must have a positive sum")
+    ordered = np.sort(values)
+    cumulative = np.concatenate(([0.0], np.cumsum(ordered))) / total
+    population = np.linspace(0.0, 1.0, values.size + 1)
+    return population, cumulative
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """The Gini coefficient of a non-negative sample.
+
+    Computed as twice the area between the Lorenz curve and the
+    diagonal (trapezoidal rule, exact for the empirical curve).
+    """
+    population, cumulative = lorenz_curve(values)
+    area_under_lorenz = np.trapezoid(cumulative, population)
+    return float(1.0 - 2.0 * area_under_lorenz)
+
+
+def top_share(values: np.ndarray, quantile: float = 0.2) -> float:
+    """Fraction of the total contributed by the top ``quantile`` of units.
+
+    ``top_share(counts, 0.2)`` is the literal 80/20 check: the paper's
+    Pareto-principle claim predicts values near 0.8 for tweet counts.
+    """
+    if not (0.0 < quantile <= 1.0):
+        raise ValueError("quantile must be in (0, 1]")
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("empty sample")
+    if np.any(values < 0) or values.sum() <= 0:
+        raise ValueError("values must be non-negative with a positive sum")
+    n_top = max(1, int(round(quantile * values.size)))
+    ordered = np.sort(values)[::-1]
+    return float(ordered[:n_top].sum() / values.sum())

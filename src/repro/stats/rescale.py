@@ -1,0 +1,43 @@
+"""The Fig 3 rescaling factor.
+
+Fig 3 plots the *rescaled* Twitter population against census population:
+``C · p_twitter ≈ p_census`` for a single scalar ``C`` shared by the
+areas of one scale.  Because both axes are logarithmic, the natural
+estimator is the one minimising squared error in log space, which has
+the closed form ``log C = mean(log p_census - log p_twitter)`` — i.e. C
+is the geometric mean of the per-area ratios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def optimal_log_rescale(twitter: np.ndarray, census: np.ndarray) -> float:
+    """The factor C minimising ``Σ (log(C·t_i) - log(c_i))²``.
+
+    Only strictly positive pairs participate.  Raises if none remain
+    (an all-zero Twitter population cannot be rescaled).
+    """
+    twitter = np.asarray(twitter, dtype=np.float64)
+    census = np.asarray(census, dtype=np.float64)
+    if twitter.shape != census.shape:
+        raise ValueError(f"shape mismatch: {twitter.shape} vs {census.shape}")
+    keep = (twitter > 0) & (census > 0)
+    if not keep.any():
+        raise ValueError("no positive (twitter, census) pairs to rescale")
+    log_ratio = np.log(census[keep]) - np.log(twitter[keep])
+    return float(np.exp(log_ratio.mean()))
+
+
+def rescale_to_census(
+    twitter: np.ndarray, census: np.ndarray
+) -> tuple[np.ndarray, float]:
+    """Return ``(C * twitter, C)`` with the optimal log-space factor C.
+
+    Areas with zero Twitter users rescale to zero; they are excluded from
+    the factor estimate but kept in the output array so indices align
+    with the gazetteer.
+    """
+    factor = optimal_log_rescale(twitter, census)
+    return np.asarray(twitter, dtype=np.float64) * factor, factor

@@ -1,0 +1,178 @@
+"""Incremental population and mobility counters.
+
+Both counters consume a time-ordered tweet stream and maintain, at every
+instant, exactly what the batch pipelines would compute over the
+current window:
+
+* :class:`OnlinePopulationCounter` ≡
+  :func:`repro.extraction.population.extract_area_observations`
+  (tweets and unique users within ε of each area centre);
+* :class:`OnlineMobilityCounter` ≡
+  :func:`repro.extraction.mobility.extract_od_flows`
+  (consecutive-pair transitions between labelled areas).
+
+The equivalences are asserted in the test suite by replaying a corpus
+through the counters with an infinite window.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.gazetteer import Area
+from repro.data.schema import Tweet
+from repro.geo.distance import haversine_km
+from repro.stream.window import SlidingWindow
+
+
+def _nearest_area_within(
+    areas: Sequence[Area], lat: float, lon: float, radius_km: float
+) -> int:
+    """Index of the nearest area whose ε-disc contains the point, or -1.
+
+    Scalar version of
+    :func:`repro.extraction.population.assign_tweets_to_areas` for
+    one-point-at-a-time streaming (the area sets are small — 20 areas —
+    so a linear scan beats index maintenance).
+    """
+    best = -1
+    best_distance = radius_km
+    for index, area in enumerate(areas):
+        d = haversine_km((lat, lon), area.center)
+        if d <= best_distance:
+            # `<=` keeps the boundary inclusive; ties keep the earlier
+            # area, matching the batch resolver's strict `<` update.
+            if d < best_distance or best == -1:
+                best = index
+                best_distance = d
+    return best
+
+
+class OnlinePopulationCounter:
+    """Windowed per-area tweet and unique-user counts.
+
+    ``push`` each tweet in time order; read :meth:`tweet_counts` /
+    :meth:`user_counts` at any time for the current window's values.
+    """
+
+    def __init__(
+        self, areas: Sequence[Area], radius_km: float, window_seconds: float = float("inf")
+    ) -> None:
+        if radius_km <= 0:
+            raise ValueError(f"radius must be positive, got {radius_km}")
+        self.areas = tuple(areas)
+        self.radius_km = float(radius_km)
+        self._window = (
+            SlidingWindow(window_seconds) if np.isfinite(window_seconds) else None
+        )
+        n = len(self.areas)
+        self._tweet_counts = np.zeros(n, dtype=np.int64)
+        self._users_per_area: list[Counter[int]] = [Counter() for _ in range(n)]
+
+    def _labels(self, tweet: Tweet) -> list[int]:
+        """Every area whose ε-disc contains the tweet.
+
+        Overlapping discs each count the tweet — matching the batch
+        extractor, where each area's radius query is independent.
+        """
+        return [
+            index
+            for index, area in enumerate(self.areas)
+            if haversine_km((tweet.lat, tweet.lon), area.center) <= self.radius_km
+        ]
+
+    def push(self, tweet: Tweet) -> None:
+        """Ingest one tweet (and expire anything that left the window)."""
+        for label in self._labels(tweet):
+            self._tweet_counts[label] += 1
+            self._users_per_area[label][tweet.user_id] += 1
+        if self._window is not None:
+            for expired in self._window.push(tweet):
+                self._remove(expired)
+
+    def _remove(self, tweet: Tweet) -> None:
+        for label in self._labels(tweet):
+            self._tweet_counts[label] -= 1
+            users = self._users_per_area[label]
+            users[tweet.user_id] -= 1
+            if users[tweet.user_id] <= 0:
+                del users[tweet.user_id]
+
+    def tweet_counts(self) -> np.ndarray:
+        """Tweets per area in the current window."""
+        return self._tweet_counts.copy()
+
+    def user_counts(self) -> np.ndarray:
+        """Unique users per area in the current window."""
+        return np.array([len(c) for c in self._users_per_area], dtype=np.int64)
+
+
+class OnlineMobilityCounter:
+    """Windowed OD transition counts from a tweet stream.
+
+    A transition is recorded when a user's consecutive tweets carry two
+    different area labels; the transition timestamp is the second
+    tweet's.  Unlabelled tweets (outside every disc) still advance the
+    user's position — they break adjacency exactly as in the batch
+    extractor.
+    """
+
+    def __init__(
+        self, areas: Sequence[Area], radius_km: float, window_seconds: float = float("inf")
+    ) -> None:
+        if radius_km <= 0:
+            raise ValueError(f"radius must be positive, got {radius_km}")
+        self.areas = tuple(areas)
+        self.radius_km = float(radius_km)
+        self.window_seconds = float(window_seconds)
+        n = len(self.areas)
+        self._matrix = np.zeros((n, n), dtype=np.int64)
+        self._last_label: dict[int, int] = {}
+        self._events: deque[tuple[float, int, int]] = deque()
+        self._latest = float("-inf")
+
+    def push(self, tweet: Tweet) -> None:
+        """Ingest one tweet in time order."""
+        if tweet.timestamp < self._latest:
+            from repro.stream.window import StreamOrderError
+
+            raise StreamOrderError(
+                f"tweet at {tweet.timestamp} pushed after {self._latest}"
+            )
+        self._latest = tweet.timestamp
+        label = _nearest_area_within(self.areas, tweet.lat, tweet.lon, self.radius_km)
+        previous = self._last_label.get(tweet.user_id, -1)
+        if previous >= 0 and label >= 0 and previous != label:
+            self._matrix[previous, label] += 1
+            self._events.append((tweet.timestamp, previous, label))
+        self._last_label[tweet.user_id] = label
+        self._expire(tweet.timestamp)
+
+    def advance_to(self, now: float) -> None:
+        """Expire old transitions without ingesting a tweet."""
+        if now < self._latest:
+            from repro.stream.window import StreamOrderError
+
+            raise StreamOrderError(f"cannot move time backwards to {now}")
+        self._latest = now
+        self._expire(now)
+
+    def _expire(self, now: float) -> None:
+        if not np.isfinite(self.window_seconds):
+            return
+        cutoff = now - self.window_seconds
+        while self._events and self._events[0][0] <= cutoff:
+            _ts, source, dest = self._events.popleft()
+            self._matrix[source, dest] -= 1
+
+    def flow_matrix(self) -> np.ndarray:
+        """Transition counts in the current window."""
+        return self._matrix.copy()
+
+    @property
+    def total_transitions(self) -> int:
+        """Total transitions currently in the window."""
+        return int(self._matrix.sum())

@@ -1,0 +1,179 @@
+"""Configuration for the synthetic corpus generator.
+
+Defaults are calibrated so that a full-scale run (``n_users=473_956``)
+lands near the Table I statistics of the paper; tests and benchmarks use
+scaled-down user counts, which leave all per-user distributions unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+#: Collection window of the paper: September 2013 .. April 2014.
+COLLECTION_START_TS = 1_377_993_600.0  # 2013-09-01 00:00:00 UTC
+COLLECTION_END_TS = 1_398_902_400.0  # 2014-05-01 00:00:00 UTC
+
+
+@dataclass(frozen=True, slots=True)
+class SynthConfig:
+    """All knobs of the synthetic Twitter world.
+
+    Attributes
+    ----------
+    n_users:
+        Number of synthetic users.  The paper's corpus has 473,956; the
+        default here is a laptop-friendly 40,000, which preserves every
+        distributional property.
+    seed:
+        Root seed; the generator is deterministic given this.
+    tweets_alpha, tweets_k_min, tweets_k_max:
+        Discrete power law ``P(k) ∝ k^-alpha`` for tweets per user.
+        ``alpha=1.85`` over [1, 20000] gives a mean near the paper's 13.3
+        tweets/user and a tail spanning four decades (Fig 2a).
+    wait_alpha, wait_min_s, wait_max_s:
+        Truncated Pareto for inter-tweet waiting times in seconds.  The
+        support [20 s, 2e7 s] spans the eight decades of Fig 2b; with
+        ``alpha=1.16`` the empirical mean waiting time (after window
+        wrapping) lands at ~34 h, matching Table I's 35.5 h.
+    adoption_sigma:
+        Log-normal sigma of the per-place Twitter-adoption bias.  0 makes
+        the Twitter population a perfect multiple of census population
+        (Fig 3 would collapse onto y = x); the default 0.25 reproduces the
+        paper's r ≈ 0.82 overall correlation.
+    small_site_noise:
+        Extra adoption noise applied inversely with site population,
+        modelling the paper's observation that small areas are noisier.
+    p_move:
+        Probability that a user relocates between two consecutive tweets.
+        Together with the gravity kernel this sets the OD flow volume.
+    gravity_gamma:
+        Distance exponent of the ground-truth travel kernel
+        ``P(j | i) ∝ pop_j / d_ij^gamma``.
+    gravity_alpha:
+        Mass exponent on the destination population in the travel kernel.
+    trip_return_bias:
+        Extra probability mass on returning to the user's home site when
+        moving, modelling commute-and-return behaviour.
+    favorite_new_point_p:
+        Probability a tweet is posted from a brand-new point rather than
+        one of the user's favourite points; controls Table I's distinct
+        locations/user (4.76) staying well below tweets/user (13.3).
+    scatter_decay_km:
+        Scale of the exponential kernel that scatters a user's favourite
+        points around a site centre, as a multiple of the site's own
+        scatter radius.
+    center_offset_frac:
+        Per-site systematic offset of tweeting activity from the
+        gazetteer centre, as a fraction of the site scatter radius.  This
+        drives the ε = 0.5 km degradation of Fig 3(b).
+    n_filler_suburbs:
+        How many synthetic filler suburbs tile the Sydney metropolitan
+        area, carrying the census population not covered by the 20 study
+        suburbs.  Fillers are what make metropolitan-scale extraction
+        behave like a real city: a 2 km disc around a study suburb sees
+        mostly that suburb's own users plus mild contamination from
+        neighbouring (filler) suburbs.
+    filler_scatter_km:
+        Scatter radius of filler suburbs (same scale as study suburbs).
+    metro_extent_km:
+        Exponential radial scale of Sydney's population sprawl; filler
+        suburbs are placed at exponentially distributed distances from
+        the CBD.
+    filler_min_separation_km:
+        Fillers keep at least this distance from every study suburb
+        centre so census populations are not double counted inside the
+        study discs.
+    diurnal_amplitude, diurnal_peak_hour:
+        Optional circadian cycle: when the amplitude is positive, every
+        timestamp's time-of-day is warped so the aggregate hourly
+        profile follows ``1 + A cos(2π (h - peak)/24)``.  Off by default
+        (the paper's Fig 2 measures only the waiting-time tail, which
+        the warp leaves intact).
+    bot_fraction, bot_min_tweets, bot_max_tweets:
+        Optional contamination: this fraction of users are bots —
+        stationary accounts posting uniformly at extreme rates from one
+        exact point (weather stations, job feeds).  Off by default; used
+        to exercise :mod:`repro.data.validation`'s bot detection.
+    start_ts, end_ts:
+        Collection window (Unix seconds).
+    """
+
+    n_users: int = 40_000
+    seed: int = 20150413
+
+    tweets_alpha: float = 1.85
+    tweets_k_min: int = 1
+    tweets_k_max: int = 20_000
+
+    wait_alpha: float = 1.16
+    wait_min_s: float = 20.0
+    wait_max_s: float = 2.0e7
+
+    adoption_sigma: float = 0.25
+    small_site_noise: float = 0.10
+
+    p_move: float = 0.14
+    gravity_gamma: float = 1.6
+    gravity_alpha: float = 1.0
+    trip_return_bias: float = 0.45
+
+    favorite_new_point_p: float = 0.28
+    scatter_decay_km: float = 0.45
+    center_offset_frac: float = 0.35
+
+    n_filler_suburbs: int = 150
+    filler_scatter_km: float = 0.55
+    metro_extent_km: float = 13.0
+    filler_min_separation_km: float = 3.0
+
+    diurnal_amplitude: float = 0.0
+    diurnal_peak_hour: float = 20.0
+
+    bot_fraction: float = 0.0
+    bot_min_tweets: int = 5_000
+    bot_max_tweets: int = 20_000
+
+    start_ts: float = COLLECTION_START_TS
+    end_ts: float = COLLECTION_END_TS
+
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise ValueError(f"n_users must be >= 1, got {self.n_users}")
+        if self.tweets_alpha <= 1.0:
+            raise ValueError("tweets_alpha must exceed 1 for a normalisable tail")
+        if not (0 < self.tweets_k_min <= self.tweets_k_max):
+            raise ValueError("need 0 < tweets_k_min <= tweets_k_max")
+        if self.wait_alpha <= 0:
+            raise ValueError("wait_alpha must be positive")
+        if not (0 < self.wait_min_s < self.wait_max_s):
+            raise ValueError("need 0 < wait_min_s < wait_max_s")
+        if not (0.0 <= self.p_move <= 1.0):
+            raise ValueError("p_move must be a probability")
+        if not (0.0 <= self.trip_return_bias <= 1.0):
+            raise ValueError("trip_return_bias must be a probability")
+        if not (0.0 <= self.favorite_new_point_p <= 1.0):
+            raise ValueError("favorite_new_point_p must be a probability")
+        if not (0.0 <= self.bot_fraction < 1.0):
+            raise ValueError("bot_fraction must be in [0, 1)")
+        if not (0 < self.bot_min_tweets <= self.bot_max_tweets):
+            raise ValueError("need 0 < bot_min_tweets <= bot_max_tweets")
+        if not (0.0 <= self.diurnal_amplitude < 1.0):
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if not (0.0 <= self.diurnal_peak_hour < 24.0):
+            raise ValueError("diurnal_peak_hour must be in [0, 24)")
+        if self.start_ts >= self.end_ts:
+            raise ValueError("collection window is empty")
+
+    def scaled(self, n_users: int) -> "SynthConfig":
+        """A copy with a different user count and everything else intact."""
+        return dataclasses.replace(self, n_users=n_users)
+
+
+#: Full paper-scale configuration (473,956 users as in Table I).
+PAPER_SCALE = SynthConfig(n_users=473_956)
+
+#: Small deterministic configuration used across the test suite.
+TEST_SCALE = SynthConfig(n_users=2_000)

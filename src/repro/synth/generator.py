@@ -1,0 +1,227 @@
+"""The synthetic corpus generator.
+
+Orchestrates the world model, the heavy-tailed samplers and the travel
+process into a full geo-tagged tweet corpus.  Generation is deterministic
+given ``SynthConfig.seed``: the root RNG is split into independent child
+streams for world building, adoption weights and the main per-user loop,
+so changing one stage never perturbs the others.
+
+Per user the pipeline is:
+
+1. draw a home site (census-population × adoption-bias weights);
+2. draw a tweet count from the discrete power law (Fig 2a);
+3. draw inter-tweet waiting times from the truncated Pareto (Fig 2b) and
+   lay the tweets onto the collection window (wrapping around the window
+   edge, which perturbs at most one waiting-time pair per user);
+4. walk the gravity travel process to assign a site to every tweet;
+5. post each tweet from one of the user's favourite points at that site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.corpus import TweetCorpus
+from repro.synth.config import SynthConfig
+from repro.synth.distributions import DiscretePowerLaw, TruncatedPareto
+from repro.synth.diurnal import DiurnalPattern
+from repro.synth.movement import FavoritePointStore, TripKernel, scatter_point
+from repro.synth.population import World, build_world, home_site_weights
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """Everything a generation run produces.
+
+    Attributes
+    ----------
+    corpus:
+        The synthetic tweet corpus (user-time sorted).
+    world:
+        The generating world model (sites, populations, distances).
+    home_sites:
+        Per-user home site index, aligned with ``user_ids`` 0..n-1.
+    site_weights:
+        The realised home-assignment probabilities (population ×
+        adoption bias, normalised).
+    site_indices:
+        Per-tweet generating site index, aligned with the corpus rows.
+    bot_users:
+        Sorted user ids that were generated as bots (empty unless
+        ``config.bot_fraction > 0``) — ground truth for bot-detection
+        evaluation.
+    config:
+        The configuration that produced this corpus.
+    """
+
+    corpus: TweetCorpus
+    world: World
+    home_sites: np.ndarray
+    site_weights: np.ndarray
+    site_indices: np.ndarray
+    config: SynthConfig
+    bot_users: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.bot_users is None:
+            object.__setattr__(self, "bot_users", np.empty(0, dtype=np.int64))
+
+
+class SyntheticCorpusGenerator:
+    """Reusable generator bound to one :class:`SynthConfig`."""
+
+    def __init__(self, config: SynthConfig) -> None:
+        self.config = config
+        self._tweet_count_dist = DiscretePowerLaw(
+            alpha=config.tweets_alpha, k_min=config.tweets_k_min, k_max=config.tweets_k_max
+        )
+        self._wait_dist = TruncatedPareto(
+            alpha=config.wait_alpha, x_min=config.wait_min_s, x_max=config.wait_max_s
+        )
+
+    def generate(
+        self, progress: Callable[[int, int], None] | None = None
+    ) -> GenerationResult:
+        """Run the full pipeline and return the corpus plus ground truth.
+
+        ``progress`` (optional) is called as ``progress(done_users,
+        total_users)`` every few thousand users.
+        """
+        config = self.config
+        root = np.random.default_rng(config.seed)
+        world_rng, weights_rng, main_rng = root.spawn(3)
+
+        world = build_world(config, world_rng)
+        weights = home_site_weights(world, config, weights_rng)
+        kernel = TripKernel(world, config)
+
+        n_users = config.n_users
+        homes = main_rng.choice(len(world), size=n_users, p=weights)
+        counts = self._tweet_count_dist.sample(main_rng, n_users)
+        # Bots are the highest user ids: stationary, extreme-rate accounts.
+        n_bots = int(round(config.bot_fraction * n_users))
+        first_bot = n_users - n_bots
+        if n_bots:
+            counts[first_bot:] = main_rng.integers(
+                config.bot_min_tweets, config.bot_max_tweets + 1, n_bots
+            )
+        total_tweets = int(counts.sum())
+
+        user_col = np.empty(total_tweets, dtype=np.int64)
+        ts_col = np.empty(total_tweets, dtype=np.float64)
+        lat_col = np.empty(total_tweets, dtype=np.float64)
+        lon_col = np.empty(total_tweets, dtype=np.float64)
+        site_col = np.empty(total_tweets, dtype=np.int64)
+
+        window = config.end_ts - config.start_ts
+        favorites = FavoritePointStore(config)
+        cursor = 0
+        for user in range(n_users):
+            k = int(counts[user])
+            home = int(homes[user])
+            sl = slice(cursor, cursor + k)
+            user_col[sl] = user
+            if user >= first_bot:
+                # Bots: uniform-rate posting from one exact point at home.
+                ts_col[sl] = main_rng.uniform(0.0, window, k)
+                site_col[sl] = home
+                point = scatter_point(world.sites[home], main_rng)
+                lat_col[sl] = point.lat
+                lon_col[sl] = point.lon
+            else:
+                ts_col[sl] = self._user_timestamps(k, window, main_rng)
+                site_seq = self._user_site_sequence(k, home, kernel, main_rng)
+                site_col[sl] = site_seq
+                favorites.reset_user()
+                for j in range(k):
+                    site_index = int(site_seq[j])
+                    lat, lon = favorites.point_for_tweet(
+                        site_index, world.sites[site_index], main_rng
+                    )
+                    lat_col[cursor + j] = lat
+                    lon_col[cursor + j] = lon
+            cursor += k
+            if progress is not None and (user + 1) % 5000 == 0:
+                progress(user + 1, n_users)
+
+        ts_col += config.start_ts
+        if config.diurnal_amplitude > 0.0:
+            pattern = DiurnalPattern(
+                amplitude=config.diurnal_amplitude, peak_hour=config.diurnal_peak_hour
+            )
+            ts_col = pattern.warp_timestamps(ts_col, epoch=config.start_ts)
+        # Sort by (user, time) once, keeping the site ground truth aligned.
+        order = np.lexsort((ts_col, user_col))
+        corpus = TweetCorpus(
+            tweet_ids=np.arange(total_tweets, dtype=np.int64),
+            user_ids=user_col[order],
+            timestamps=ts_col[order],
+            lats=lat_col[order],
+            lons=lon_col[order],
+            presorted=True,
+        )
+        return GenerationResult(
+            corpus=corpus,
+            world=world,
+            home_sites=homes,
+            site_weights=weights,
+            site_indices=site_col[order],
+            config=config,
+            bot_users=np.arange(first_bot, n_users, dtype=np.int64),
+        )
+
+    def _user_timestamps(
+        self, k: int, window: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Offsets (seconds from window start) of one user's tweets.
+
+        The user starts at a uniform point in the window; waiting times
+        beyond the window edge wrap around, so all tweets stay inside the
+        collection period (as in the paper's Table I) at the cost of at
+        most one disrupted waiting-time pair per user.
+        """
+        start = rng.uniform(0.0, window)
+        if k == 1:
+            return np.array([start])
+        waits = self._wait_dist.sample(rng, k - 1)
+        times = start + np.concatenate(([0.0], np.cumsum(waits)))
+        return np.mod(times, window)
+
+    def _user_site_sequence(
+        self, k: int, home: int, kernel: TripKernel, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Site index of each of one user's tweets, in posting order.
+
+        A lazy Markov walk: between consecutive tweets the user moves
+        with probability ``p_move``; a mover away from home returns home
+        with probability ``trip_return_bias``, otherwise draws a gravity
+        destination from the current site.
+        """
+        seq = np.empty(k, dtype=np.int64)
+        if k == 1:
+            seq[0] = home
+            return seq
+        config = self.config
+        moves = rng.random(k - 1) < config.p_move
+        current = home
+        prev = 0
+        for move_at in np.nonzero(moves)[0] + 1:
+            seq[prev:move_at] = current
+            if current != home and rng.random() < config.trip_return_bias:
+                current = home
+            else:
+                current = kernel.sample_destination(current, rng)
+            prev = int(move_at)
+        seq[prev:] = current
+        return seq
+
+
+def generate_corpus(
+    config: SynthConfig | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> GenerationResult:
+    """One-call convenience wrapper around :class:`SyntheticCorpusGenerator`."""
+    return SyntheticCorpusGenerator(config or SynthConfig()).generate(progress=progress)

@@ -1,0 +1,120 @@
+"""Character canvas and logarithmic axes for terminal plots."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class LogAxis:
+    """A base-10 logarithmic axis mapping values to character columns/rows.
+
+    ``lo`` and ``hi`` are the positive data bounds; values outside are
+    clamped onto the edge cells so every point stays visible.
+    """
+
+    lo: float
+    hi: float
+    n_cells: int
+
+    def __post_init__(self) -> None:
+        if self.lo <= 0 or self.hi <= 0:
+            raise ValueError("log axis needs positive bounds")
+        if self.hi <= self.lo:
+            raise ValueError(f"need hi > lo, got [{self.lo}, {self.hi}]")
+        if self.n_cells < 2:
+            raise ValueError("axis needs at least 2 cells")
+
+    def cell(self, value: float) -> int:
+        """Cell index of a value (clamped into range)."""
+        if value <= 0:
+            return 0
+        t = (math.log10(value) - math.log10(self.lo)) / (
+            math.log10(self.hi) - math.log10(self.lo)
+        )
+        return max(0, min(self.n_cells - 1, int(t * self.n_cells)))
+
+    def decade_ticks(self) -> list[tuple[int, float]]:
+        """(cell, value) pairs at each power of ten inside the range."""
+        ticks = []
+        k = math.ceil(math.log10(self.lo))
+        while 10.0**k <= self.hi * (1 + 1e-9):
+            ticks.append((self.cell(10.0**k), 10.0**k))
+            k += 1
+        return ticks
+
+
+def format_power_of_ten(value: float) -> str:
+    """Compact label for a decade tick (``1e3`` style)."""
+    exponent = round(math.log10(value))
+    return f"1e{exponent}"
+
+
+class Canvas:
+    """A width x height character grid with painter-style drawing.
+
+    Row 0 is the *top* of the rendered output; plot code that thinks in
+    "y grows upward" coordinates should use :meth:`set_xy`.
+    """
+
+    def __init__(self, width: int, height: int, fill: str = " ") -> None:
+        if width < 1 or height < 1:
+            raise ValueError("canvas must be at least 1x1")
+        self.width = width
+        self.height = height
+        self._rows = [[fill] * width for _ in range(height)]
+
+    def set(self, row: int, col: int, char: str) -> None:
+        """Put a character at (row, col); out-of-range is ignored."""
+        if 0 <= row < self.height and 0 <= col < self.width:
+            self._rows[row][col] = char
+
+    def set_xy(self, x_cell: int, y_cell: int, char: str) -> None:
+        """Put a character with y growing upward from the bottom row."""
+        self.set(self.height - 1 - y_cell, x_cell, char)
+
+    def get(self, row: int, col: int) -> str:
+        """Read a character back (space if out of range)."""
+        if 0 <= row < self.height and 0 <= col < self.width:
+            return self._rows[row][col]
+        return " "
+
+    def render(self) -> str:
+        """The canvas as a newline-joined string."""
+        return "\n".join("".join(row) for row in self._rows)
+
+
+def frame(
+    canvas: Canvas,
+    x_axis: LogAxis,
+    y_axis: LogAxis,
+    title: str,
+    x_label: str,
+    y_label: str,
+) -> str:
+    """Wrap a canvas with a border, decade ticks and labels."""
+    lines = []
+    if title:
+        lines.append(title.center(canvas.width + 2))
+    lines.append("+" + "-" * canvas.width + "+")
+    body = canvas.render().split("\n")
+    y_ticks = {canvas.height - 1 - cell: value for cell, value in y_axis.decade_ticks()}
+    for row_index, row in enumerate(body):
+        suffix = ""
+        if row_index in y_ticks:
+            suffix = " " + format_power_of_ten(y_ticks[row_index])
+        lines.append("|" + row + "|" + suffix)
+    lines.append("+" + "-" * canvas.width + "+")
+    tick_row = [" "] * canvas.width
+    for cell, value in x_axis.decade_ticks():
+        label = format_power_of_ten(value)
+        for offset, char in enumerate(label):
+            if 0 <= cell + offset < canvas.width:
+                tick_row[cell + offset] = char
+    lines.append(" " + "".join(tick_row))
+    footer = f"x: {x_label}"
+    if y_label:
+        footer += f"   y: {y_label}"
+    lines.append(" " + footer)
+    return "\n".join(lines)

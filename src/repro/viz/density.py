@@ -1,0 +1,71 @@
+"""Lat/lon density heat maps (Fig 1 style).
+
+Renders a :class:`~repro.geo.grid.DensityGrid` as a character map with
+a log10 brightness ramp — the terminal version of the paper's tweet
+density map of Australia.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo.grid import DensityGrid
+
+#: Brightness ramp from empty to densest.
+DENSITY_RAMP = " .:-=+*#%@"
+
+
+def render_density_map(
+    grid: DensityGrid, max_width: int = 100, title: str = ""
+) -> str:
+    """Render the grid's log-density as a character map.
+
+    Rows are flipped so north is up.  If the grid is wider than
+    ``max_width``, columns/rows are subsampled by max-pooling (the
+    brightest cell wins), preserving hotspots.
+    """
+    counts = grid.counts
+    if counts.size == 0 or counts.max() == 0:
+        return f"{title}: empty density grid"
+    pooled = _max_pool_to_width(counts, max_width)
+    log_density = np.log10(np.maximum(pooled, 1))
+    top = max(float(log_density.max()), 1e-9)
+    lines = []
+    if title:
+        lines.append(title)
+    n_levels = len(DENSITY_RAMP)
+    for row in reversed(range(pooled.shape[0])):  # north up
+        chars = []
+        for col in range(pooled.shape[1]):
+            if pooled[row, col] == 0:
+                chars.append(DENSITY_RAMP[0])
+            else:
+                level = int(log_density[row, col] / top * (n_levels - 1))
+                chars.append(DENSITY_RAMP[max(1, level)])
+        lines.append("".join(chars))
+    lines.append(
+        f"(log10 tweet density: ' '=0, ramp '{DENSITY_RAMP[1:]}' up to 1e{top:.1f})"
+    )
+    return "\n".join(lines)
+
+
+def _max_pool_to_width(counts: np.ndarray, max_width: int) -> np.ndarray:
+    """Shrink a count matrix to at most ``max_width`` columns by max-pooling.
+
+    The aspect ratio is roughly preserved, with rows additionally halved
+    relative to columns because terminal cells are ~2x taller than wide.
+    """
+    n_rows, n_cols = counts.shape
+    col_factor = max(1, int(np.ceil(n_cols / max_width)))
+    row_factor = max(1, col_factor * 2)
+    out_rows = int(np.ceil(n_rows / row_factor))
+    out_cols = int(np.ceil(n_cols / col_factor))
+    pooled = np.zeros((out_rows, out_cols), dtype=counts.dtype)
+    for r in range(out_rows):
+        for c in range(out_cols):
+            block = counts[
+                r * row_factor : (r + 1) * row_factor,
+                c * col_factor : (c + 1) * col_factor,
+            ]
+            pooled[r, c] = block.max() if block.size else 0
+    return pooled

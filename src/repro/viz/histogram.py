@@ -1,0 +1,46 @@
+"""Log-log empirical PDF plots (Fig 2 style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.viz.ascii import Canvas, LogAxis, frame
+
+
+def render_loglog_pdf(
+    bin_centers: np.ndarray,
+    density: np.ndarray,
+    title: str = "",
+    x_label: str = "value",
+    width: int = 56,
+    height: int = 18,
+    marker: str = "*",
+) -> str:
+    """Render a pre-binned PDF on log-log axes as text.
+
+    Takes the output of :func:`repro.stats.binning.log_binned_pdf`
+    directly.  Empty input yields a note instead of a plot.
+    """
+    bin_centers = np.asarray(bin_centers, dtype=np.float64)
+    density = np.asarray(density, dtype=np.float64)
+    if bin_centers.shape != density.shape:
+        raise ValueError("bin_centers and density must align")
+    keep = (bin_centers > 0) & (density > 0)
+    bin_centers = bin_centers[keep]
+    density = density[keep]
+    if bin_centers.size == 0:
+        return f"{title}: nothing to plot"
+    x_axis = LogAxis(
+        lo=float(bin_centers.min()),
+        hi=float(bin_centers.max()) * (1 + 1e-9) + 1e-12,
+        n_cells=width,
+    )
+    y_axis = LogAxis(
+        lo=float(density.min()),
+        hi=float(density.max()) * (1 + 1e-9) + 1e-300,
+        n_cells=height,
+    )
+    canvas = Canvas(width, height)
+    for center, value in zip(bin_centers, density):
+        canvas.set_xy(x_axis.cell(center), y_axis.cell(value), marker)
+    return frame(canvas, x_axis, y_axis, title, x_label, "P(x)")

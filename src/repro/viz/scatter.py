@@ -1,0 +1,62 @@
+"""Log-log scatter plots (Fig 3 and Fig 4 style).
+
+Grey crosses become ``+``, the logarithmically binned means become
+``o``, and the ``y = x`` reference line becomes ``/`` — the same three
+layers the paper's Fig 4 panels draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.binning import log_binned_means
+from repro.viz.ascii import Canvas, LogAxis, frame
+
+
+def render_loglog_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    title: str = "",
+    x_label: str = "estimated",
+    y_label: str = "observed",
+    width: int = 56,
+    height: int = 20,
+    identity_line: bool = True,
+    binned_means: bool = True,
+) -> str:
+    """Render a log-log scatter of positive (x, y) pairs as text.
+
+    Non-positive pairs are dropped (they have no place on log axes).
+    Returns a bordered multi-line string; empty input yields a note
+    instead of a plot.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: x {x.shape} vs y {y.shape}")
+    keep = (x > 0) & (y > 0)
+    x = x[keep]
+    y = y[keep]
+    if x.size == 0:
+        return f"{title}: no positive points to plot"
+    lo = float(min(x.min(), y.min()))
+    hi = float(max(x.max(), y.max()))
+    if hi <= lo:
+        hi = lo * 10.0
+    x_axis = LogAxis(lo=lo, hi=hi, n_cells=width)
+    y_axis = LogAxis(lo=lo, hi=hi, n_cells=height)
+    canvas = Canvas(width, height)
+    if identity_line:
+        for cell in range(width):
+            # Both axes share bounds, so y = x maps cell-to-cell after
+            # rescaling for the differing cell counts.
+            y_cell = int(cell * height / width)
+            canvas.set_xy(cell, min(y_cell, height - 1), "/")
+    for xi, yi in zip(x, y):
+        canvas.set_xy(x_axis.cell(xi), y_axis.cell(yi), "+")
+    if binned_means and x.size >= 4:
+        centers, means, _counts = log_binned_means(x, y, bins_per_decade=4)
+        for cx, cy in zip(centers, means):
+            if cy > 0:
+                canvas.set_xy(x_axis.cell(cx), y_axis.cell(cy), "o")
+    return frame(canvas, x_axis, y_axis, title, x_label, y_label)

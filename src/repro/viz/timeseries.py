@@ -1,0 +1,93 @@
+"""ASCII time-series charts: epidemic curves and drift diagnostics."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.viz.ascii import Canvas
+
+SERIES_MARKERS = "*o+x#@%&"
+
+
+def render_timeseries(
+    times: np.ndarray,
+    series: Sequence[np.ndarray],
+    labels: Sequence[str],
+    title: str = "",
+    x_label: str = "time",
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Plot one or more aligned series on linear axes as text.
+
+    Each series gets a marker from :data:`SERIES_MARKERS`; a legend maps
+    markers to labels.  Non-finite values are skipped.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    if len(series) == 0:
+        raise ValueError("need at least one series")
+    if len(series) != len(labels):
+        raise ValueError("series and labels must align")
+    if len(series) > len(SERIES_MARKERS):
+        raise ValueError(f"at most {len(SERIES_MARKERS)} series supported")
+    arrays = [np.asarray(s, dtype=np.float64) for s in series]
+    for array in arrays:
+        if array.shape != times.shape:
+            raise ValueError("every series must align with times")
+    finite_values = np.concatenate([a[np.isfinite(a)] for a in arrays])
+    if finite_values.size == 0:
+        return f"{title}: nothing to plot"
+    y_lo = float(finite_values.min())
+    y_hi = float(finite_values.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    t_lo = float(times.min())
+    t_hi = float(times.max())
+    if t_hi == t_lo:
+        t_hi = t_lo + 1.0
+
+    canvas = Canvas(width, height)
+    for marker, array in zip(SERIES_MARKERS, arrays):
+        for t, value in zip(times, array):
+            if not np.isfinite(value):
+                continue
+            x_cell = int((t - t_lo) / (t_hi - t_lo) * (width - 1))
+            y_cell = int((value - y_lo) / (y_hi - y_lo) * (height - 1))
+            canvas.set_xy(x_cell, y_cell, marker)
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 2))
+    lines.append("+" + "-" * width + "+")
+    body = canvas.render().split("\n")
+    for row_index, row in enumerate(body):
+        annotation = ""
+        if row_index == 0:
+            annotation = f" {y_hi:.3g}"
+        elif row_index == height - 1:
+            annotation = f" {y_lo:.3g}"
+        lines.append("|" + row + "|" + annotation)
+    lines.append("+" + "-" * width + "+")
+    lines.append(f" {t_lo:.3g}{' ' * max(1, width - 12)}{t_hi:.3g}")
+    legend = "   ".join(
+        f"{marker}={label}" for marker, label in zip(SERIES_MARKERS, labels)
+    )
+    lines.append(f" x: {x_label}   {legend}")
+    return "\n".join(lines)
+
+
+def render_epidemic_curves(
+    result, patches: Sequence[int | str], title: str = "epidemic curves"
+) -> str:
+    """Infectious prevalence over time for selected patches of a SEIR run."""
+    network = result.network
+    indices = [
+        network.names.index(p) if isinstance(p, str) else int(p) for p in patches
+    ]
+    series = [result.i[:, index] for index in indices]
+    labels = [network.names[index] for index in indices]
+    return render_timeseries(
+        result.times, series, labels, title=title, x_label="days"
+    )

@@ -1,0 +1,46 @@
+"""Shared fixtures: synthetic corpora at two sizes.
+
+``small_result``/``small_corpus`` (2,000 users) is cheap and used by
+structural tests; ``medium_corpus`` (15,000 users) is session-scoped and
+used by the qualitative experiment tests, which need enough flow volume
+for stable correlations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import SynthConfig, generate_corpus
+from repro.synth.generator import GenerationResult
+
+
+@pytest.fixture(scope="session")
+def small_result() -> GenerationResult:
+    """A deterministic 2,000-user generation result."""
+    return generate_corpus(SynthConfig(n_users=2_000, seed=424242))
+
+
+@pytest.fixture(scope="session")
+def small_corpus(small_result):
+    """The 2,000-user corpus."""
+    return small_result.corpus
+
+
+@pytest.fixture(scope="session")
+def medium_result() -> GenerationResult:
+    """A deterministic 15,000-user generation result for experiment tests."""
+    return generate_corpus(SynthConfig(n_users=15_000, seed=20150413))
+
+
+@pytest.fixture(scope="session")
+def medium_corpus(medium_result):
+    """The 15,000-user corpus."""
+    return medium_result.corpus
+
+
+@pytest.fixture(scope="session")
+def medium_context(medium_corpus):
+    """A shared experiment context over the medium corpus."""
+    from repro.experiments import ExperimentContext
+
+    return ExperimentContext(medium_corpus)

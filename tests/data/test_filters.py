@@ -1,0 +1,87 @@
+"""Tests for repro.data.filters."""
+
+import pytest
+
+from repro.data.filters import (
+    deduplicate,
+    filter_bbox,
+    filter_min_tweets_per_user,
+    filter_time_window,
+    sort_chronologically,
+)
+from repro.data.schema import Tweet
+from repro.geo.bbox import AUSTRALIA_BBOX, BoundingBox
+
+
+def _tweet(user=0, ts=0.0, lat=-33.0, lon=151.0, tid=-1):
+    return Tweet(user_id=user, timestamp=ts, lat=lat, lon=lon, tweet_id=tid)
+
+
+class TestBboxFilter:
+    def test_keeps_inside_drops_outside(self):
+        tweets = [_tweet(lat=-33.87, lon=151.21), _tweet(lat=40.7, lon=-74.0)]
+        kept = list(filter_bbox(tweets, AUSTRALIA_BBOX))
+        assert len(kept) == 1
+        assert kept[0].lat == pytest.approx(-33.87)
+
+    def test_lazy_generator(self):
+        result = filter_bbox(iter([]), AUSTRALIA_BBOX)
+        assert list(result) == []
+
+
+class TestTimeWindow:
+    def test_half_open_interval(self):
+        tweets = [_tweet(ts=t) for t in (0.0, 5.0, 10.0)]
+        kept = list(filter_time_window(tweets, 0.0, 10.0))
+        assert [t.timestamp for t in kept] == [0.0, 5.0]
+
+    def test_empty_window_raises(self):
+        with pytest.raises(ValueError):
+            list(filter_time_window([], 10.0, 10.0))
+
+
+class TestMinTweetsPerUser:
+    def test_drops_inactive_users(self):
+        tweets = [_tweet(user=1, ts=1), _tweet(user=1, ts=2), _tweet(user=2, ts=1)]
+        kept = filter_min_tweets_per_user(tweets, minimum=2)
+        assert all(t.user_id == 1 for t in kept)
+        assert len(kept) == 2
+
+    def test_minimum_one_keeps_all(self):
+        tweets = [_tweet(user=u) for u in range(5)]
+        assert len(filter_min_tweets_per_user(tweets, 1)) == 5
+
+    def test_invalid_minimum_raises(self):
+        with pytest.raises(ValueError):
+            filter_min_tweets_per_user([], 0)
+
+
+class TestDeduplicate:
+    def test_exact_duplicates_removed(self):
+        tweets = [_tweet(user=1, ts=5.0), _tweet(user=1, ts=5.0)]
+        assert len(list(deduplicate(tweets))) == 1
+
+    def test_different_ids_same_content_still_duplicate(self):
+        tweets = [_tweet(user=1, ts=5.0, tid=1), _tweet(user=1, ts=5.0, tid=2)]
+        kept = list(deduplicate(tweets))
+        assert len(kept) == 1
+        assert kept[0].tweet_id == 1  # first occurrence wins
+
+    def test_different_positions_kept(self):
+        tweets = [_tweet(user=1, ts=5.0, lat=-33.0), _tweet(user=1, ts=5.0, lat=-34.0)]
+        assert len(list(deduplicate(tweets))) == 2
+
+
+class TestSortChronologically:
+    def test_sorts_by_user_then_time(self):
+        tweets = [
+            _tweet(user=2, ts=1.0),
+            _tweet(user=1, ts=9.0),
+            _tweet(user=1, ts=3.0),
+        ]
+        ordered = sort_chronologically(tweets)
+        assert [(t.user_id, t.timestamp) for t in ordered] == [
+            (1, 3.0),
+            (1, 9.0),
+            (2, 1.0),
+        ]

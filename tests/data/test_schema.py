@@ -1,0 +1,62 @@
+"""Tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.schema import CorpusStats, SchemaError, Tweet, UserSummary
+from repro.geo.coords import Coordinate
+
+
+class TestTweet:
+    def test_valid_tweet(self):
+        t = Tweet(user_id=1, timestamp=1_400_000_000.0, lat=-33.87, lon=151.21)
+        assert t.user_id == 1
+        assert t.tweet_id == -1
+
+    def test_negative_user_id_raises(self):
+        with pytest.raises(SchemaError):
+            Tweet(user_id=-1, timestamp=0.0, lat=0.0, lon=0.0)
+
+    def test_non_finite_timestamp_raises(self):
+        with pytest.raises(SchemaError):
+            Tweet(user_id=0, timestamp=float("nan"), lat=0.0, lon=0.0)
+
+    def test_bad_latitude_raises(self):
+        with pytest.raises(ValueError):
+            Tweet(user_id=0, timestamp=0.0, lat=99.0, lon=0.0)
+
+    def test_longitude_normalised(self):
+        t = Tweet(user_id=0, timestamp=0.0, lat=0.0, lon=190.0)
+        assert t.lon == pytest.approx(-170.0)
+
+    def test_coordinate_property(self):
+        t = Tweet(user_id=0, timestamp=0.0, lat=-35.0, lon=149.0)
+        assert t.coordinate == Coordinate(lat=-35.0, lon=149.0)
+
+    def test_frozen(self):
+        t = Tweet(user_id=0, timestamp=0.0, lat=0.0, lon=0.0)
+        with pytest.raises(AttributeError):
+            t.user_id = 5
+
+
+class TestUserSummary:
+    def test_active_span(self):
+        s = UserSummary(
+            user_id=1,
+            n_tweets=10,
+            first_timestamp=100.0,
+            last_timestamp=400.0,
+            n_distinct_locations=3,
+        )
+        assert s.active_span_seconds == 300.0
+
+
+class TestCorpusStats:
+    def test_defaults_are_nan(self):
+        stats = CorpusStats(
+            n_tweets=0,
+            n_users=0,
+            avg_tweets_per_user=0.0,
+            avg_waiting_time_hours=0.0,
+            avg_locations_per_user=0.0,
+        )
+        assert stats.min_lat != stats.min_lat  # NaN

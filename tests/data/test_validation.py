@@ -1,0 +1,116 @@
+"""Tests for repro.data.validation (health reports and bot detection)."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import TweetCorpus
+from repro.data.validation import (
+    corpus_health_report,
+    detect_bots,
+    remove_users,
+)
+from repro.synth import SynthConfig, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def contaminated():
+    """A corpus with 1% ground-truth bots."""
+    return generate_corpus(SynthConfig(n_users=3_000, bot_fraction=0.01, seed=77))
+
+
+class TestHealthReport:
+    def test_clean_corpus_report(self, small_corpus):
+        report = corpus_health_report(small_corpus)
+        assert report.n_tweets == len(small_corpus)
+        assert report.duplicate_fraction == pytest.approx(0.0, abs=1e-6)
+        assert report.low_precision_fraction < 0.01
+
+    def test_contaminated_corpus_flags_rate_outliers(self, contaminated):
+        report = corpus_health_report(contaminated.corpus)
+        assert report.n_rate_outliers > 0
+        assert report.max_tweets_per_day > 30.0
+
+    def test_empty_corpus(self):
+        report = corpus_health_report(TweetCorpus.from_tweets([]))
+        assert report.n_tweets == 0
+        assert report.max_tweets_per_day == 0.0
+
+    def test_duplicates_counted(self):
+        base = dict(user_ids=np.array([1, 1]), timestamps=np.array([5.0, 5.0]),
+                    lats=np.zeros(2), lons=np.zeros(2))
+        corpus = TweetCorpus.from_arrays(**base)
+        report = corpus_health_report(corpus)
+        assert report.duplicate_fraction == pytest.approx(0.5)
+
+    def test_render(self, contaminated):
+        text = corpus_health_report(contaminated.corpus).render()
+        assert "tweets/day" in text
+        assert "duplicate" in text
+
+
+class TestDetectBots:
+    def test_high_precision_and_recall(self, contaminated):
+        flagged = set(detect_bots(contaminated.corpus).tolist())
+        truth = set(contaminated.bot_users.tolist())
+        if flagged:
+            precision = len(flagged & truth) / len(flagged)
+            assert precision > 0.9
+        recall = len(flagged & truth) / len(truth)
+        assert recall > 0.6
+
+    def test_clean_corpus_yields_no_bots(self, small_corpus):
+        assert detect_bots(small_corpus).size == 0
+
+    def test_stationarity_requirement(self, contaminated):
+        loose = detect_bots(contaminated.corpus, require_stationary=False)
+        strict = detect_bots(contaminated.corpus, require_stationary=True)
+        assert strict.size <= loose.size
+
+    def test_invalid_parameters(self, small_corpus):
+        with pytest.raises(ValueError):
+            detect_bots(small_corpus, max_rate_per_day=0.0)
+        with pytest.raises(ValueError):
+            detect_bots(small_corpus, min_tweets=1)
+
+
+class TestRemoveUsers:
+    def test_removal_restores_statistics(self, contaminated):
+        corpus = contaminated.corpus
+        cleaned = remove_users(corpus, contaminated.bot_users)
+        dirty_rate = len(corpus) / corpus.n_users
+        clean_rate = len(cleaned) / cleaned.n_users
+        assert clean_rate < dirty_rate / 2
+        assert cleaned.n_users == corpus.n_users - contaminated.bot_users.size
+
+    def test_empty_removal_is_identity(self, small_corpus):
+        assert remove_users(small_corpus, np.empty(0, dtype=np.int64)) is small_corpus
+
+    def test_detection_plus_removal_pipeline(self, contaminated):
+        corpus = contaminated.corpus
+        cleaned = remove_users(corpus, detect_bots(corpus))
+        # Average tweets/user must come back near the human-only value.
+        assert len(cleaned) / cleaned.n_users < 40.0
+
+
+class TestGeneratorBots:
+    def test_bot_users_recorded(self, contaminated):
+        assert contaminated.bot_users.size == 30  # 1% of 3000
+        assert contaminated.bot_users.min() == 2970
+
+    def test_no_bots_by_default(self, small_result):
+        assert small_result.bot_users.size == 0
+
+    def test_bots_are_stationary(self, contaminated):
+        corpus = contaminated.corpus
+        locations = corpus.distinct_locations_per_user()
+        index = {int(u): i for i, u in enumerate(corpus.unique_users)}
+        for bot in contaminated.bot_users[:10]:
+            assert locations[index[int(bot)]] == 1
+
+    def test_bots_tweet_heavily(self, contaminated):
+        corpus = contaminated.corpus
+        counts = corpus.tweets_per_user()
+        index = {int(u): i for i, u in enumerate(corpus.unique_users)}
+        config = contaminated.config
+        for bot in contaminated.bot_users[:10]:
+            assert counts[index[int(bot)]] >= config.bot_min_tweets

@@ -1,0 +1,147 @@
+"""Tests for repro.epidemic.effective."""
+
+import numpy as np
+import pytest
+
+from repro.epidemic.effective import (
+    effective_distance_matrix,
+    global_travel_scaling,
+    predicted_arrival_order,
+    restrict_travel,
+    transition_probabilities,
+)
+from repro.epidemic.network import MobilityNetwork
+
+
+def _chain_network():
+    """A -> B strongly, B -> C weakly; with back edges."""
+    return MobilityNetwork(
+        names=("A", "B", "C"),
+        populations=np.array([1e5, 1e5, 1e5]),
+        rates=np.array(
+            [
+                [0.0, 1e-2, 1e-6],
+                [1e-2, 0.0, 1e-4],
+                [1e-6, 1e-4, 0.0],
+            ]
+        ),
+    )
+
+
+class TestTransitionProbabilities:
+    def test_rows_sum_to_one(self):
+        probs = transition_probabilities(_chain_network())
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_isolated_row_stays_zero(self):
+        net = MobilityNetwork(
+            names=("A", "B"),
+            populations=np.array([1.0, 1.0]),
+            rates=np.array([[0.0, 0.0], [0.1, 0.0]]),
+        )
+        probs = transition_probabilities(net)
+        assert probs[0].sum() == 0.0
+        assert probs[1].sum() == pytest.approx(1.0)
+
+
+class TestEffectiveDistance:
+    def test_diagonal_zero_and_edges_at_least_one(self):
+        matrix = effective_distance_matrix(_chain_network())
+        assert np.all(np.diag(matrix) == 0)
+        off = matrix[~np.eye(3, dtype=bool)]
+        assert np.all(off[np.isfinite(off)] >= 1.0)
+
+    def test_high_probability_edge_is_shorter(self):
+        matrix = effective_distance_matrix(_chain_network())
+        # A -> B carries ~all of A's outflow, A -> C almost none.
+        assert matrix[0, 1] < matrix[0, 2]
+
+    def test_multi_hop_can_beat_direct(self):
+        # A -> C direct is tiny; A -> B -> C should be the shortest path.
+        net = _chain_network()
+        matrix = effective_distance_matrix(net)
+        probs = transition_probabilities(net)
+        direct = 1.0 - np.log(probs[0, 2])
+        assert matrix[0, 2] < direct
+
+    def test_unreachable_is_infinite(self):
+        net = MobilityNetwork(
+            names=("A", "B"),
+            populations=np.array([1.0, 1.0]),
+            rates=np.array([[0.0, 0.0], [0.1, 0.0]]),
+        )
+        matrix = effective_distance_matrix(net)
+        assert np.isinf(matrix[0, 1])
+        assert np.isfinite(matrix[1, 0])
+
+    def test_arrival_order_starts_at_seed(self):
+        order = predicted_arrival_order(_chain_network(), "A")
+        assert order[0] == 0
+        assert order[1] == 1  # B before C
+
+    def test_effective_distance_predicts_seir_arrival_order(self, medium_context):
+        """Brockmann-Helbing: SEIR arrival times follow effective distance."""
+        from repro.data.gazetteer import Scale, areas_for_scale
+        from repro.epidemic import network_from_model, simulate_seir
+        from repro.epidemic.seir import SEIRParams
+        from repro.models import GravityModel
+        from repro.stats import pearson
+
+        pairs = medium_context.flows(Scale.NATIONAL).pairs()
+        fitted = GravityModel(2).fit(pairs)
+        network = network_from_model(fitted, areas_for_scale(Scale.NATIONAL))
+        result = simulate_seir(
+            network, SEIRParams(beta=0.5, gamma=0.2), {"Sydney": 10.0}, t_max_days=365
+        )
+        arrivals = result.arrival_times(threshold=10.0)
+        seed = network.names.index("Sydney")
+        distances = effective_distance_matrix(network)[seed]
+        finite = np.isfinite(arrivals) & np.isfinite(distances)
+        correlation = pearson(distances[finite], arrivals[finite])
+        assert correlation.r > 0.7
+
+
+class TestInterventions:
+    def test_restriction_scales_both_directions(self):
+        net = _chain_network()
+        restricted = restrict_travel(net, ["A"], 0.5)
+        assert restricted.rates[0, 1] == pytest.approx(net.rates[0, 1] * 0.5)
+        assert restricted.rates[1, 0] == pytest.approx(net.rates[1, 0] * 0.5)
+        assert restricted.rates[1, 2] == net.rates[1, 2]
+
+    def test_quarantine_isolates(self):
+        restricted = restrict_travel(_chain_network(), ["B"], 0.0)
+        assert restricted.rates[1].sum() == 0.0
+        assert restricted.rates[:, 1].sum() == 0.0
+
+    def test_original_untouched(self):
+        net = _chain_network()
+        before = net.rates.copy()
+        restrict_travel(net, ["A"], 0.0)
+        assert np.array_equal(net.rates, before)
+
+    def test_restriction_delays_arrival(self):
+        from repro.epidemic.seir import SEIRParams, simulate_seir
+
+        net = _chain_network()
+        params = SEIRParams(beta=0.6, gamma=0.2)
+        base = simulate_seir(net, params, {"A": 50.0}, t_max_days=365)
+        slowed = simulate_seir(
+            restrict_travel(net, ["A"], 0.01), params, {"A": 50.0}, t_max_days=365
+        )
+        base_arrival = base.arrival_times(threshold=10.0)[1]
+        slowed_arrival = slowed.arrival_times(threshold=10.0)[1]
+        assert slowed_arrival > base_arrival
+
+    def test_invalid_factor_raises(self):
+        with pytest.raises(ValueError):
+            restrict_travel(_chain_network(), ["A"], 1.5)
+        with pytest.raises(ValueError):
+            restrict_travel(_chain_network(), [], 0.5)
+
+    def test_global_scaling(self):
+        net = _chain_network()
+        doubled = global_travel_scaling(net, 2.0)
+        assert np.allclose(doubled.rates, net.rates * 2)
+        with pytest.raises(ValueError):
+            global_travel_scaling(net, -1.0)

@@ -1,0 +1,99 @@
+"""Tests for repro.epidemic.network."""
+
+import numpy as np
+import pytest
+
+from repro.data.gazetteer import Scale, areas_for_scale
+from repro.epidemic.network import (
+    MobilityNetwork,
+    network_from_flows,
+    network_from_model,
+)
+
+
+def _toy_network(rates=None):
+    if rates is None:
+        rates = np.array([[0.0, 0.1], [0.2, 0.0]])
+    return MobilityNetwork(
+        names=("A", "B"),
+        populations=np.array([1000.0, 2000.0]),
+        rates=rates,
+    )
+
+
+class TestMobilityNetworkValidation:
+    def test_valid(self):
+        net = _toy_network()
+        assert net.n_patches == 2
+
+    def test_nonzero_diagonal_raises(self):
+        with pytest.raises(ValueError):
+            _toy_network(np.array([[0.1, 0.1], [0.2, 0.0]]))
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ValueError):
+            _toy_network(np.array([[0.0, -0.1], [0.2, 0.0]]))
+
+    def test_zero_population_raises(self):
+        with pytest.raises(ValueError):
+            MobilityNetwork(
+                names=("A",), populations=np.array([0.0]), rates=np.zeros((1, 1))
+            )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MobilityNetwork(
+                names=("A", "B"),
+                populations=np.array([1.0, 2.0]),
+                rates=np.zeros((3, 3)),
+            )
+
+
+class TestNetworkx:
+    def test_export(self):
+        graph = _toy_network().to_networkx()
+        assert graph.number_of_nodes() == 2
+        assert graph["A"]["B"]["rate"] == pytest.approx(0.1)
+        assert graph.nodes["B"]["population"] == 2000.0
+
+    def test_strongly_connected(self):
+        assert _toy_network().strongly_connected()
+        one_way = MobilityNetwork(
+            names=("A", "B"),
+            populations=np.array([1.0, 1.0]),
+            rates=np.array([[0.0, 0.1], [0.0, 0.0]]),
+        )
+        assert not one_way.strongly_connected()
+
+
+class TestCalibration:
+    def test_from_flows_mean_rate(self, medium_context):
+        flows = medium_context.flows(Scale.NATIONAL)
+        net = network_from_flows(flows, trips_per_person_per_day=0.05)
+        # Population-weighted mean outgoing rate equals the calibration.
+        total_trips_per_day = (net.rates.sum(axis=1) * net.populations).sum()
+        mean_rate = total_trips_per_day / net.populations.sum()
+        assert mean_rate == pytest.approx(0.05)
+
+    def test_from_model_structure(self, medium_context):
+        from repro.models import GravityModel
+
+        flows = medium_context.flows(Scale.NATIONAL)
+        fitted = GravityModel(2).fit(flows.pairs())
+        net = network_from_model(fitted, areas_for_scale(Scale.NATIONAL))
+        assert net.n_patches == 20
+        assert net.strongly_connected()
+        assert np.all(np.diag(net.rates) == 0)
+
+    def test_empty_flows_raise(self):
+        from repro.data.gazetteer import Area
+        from repro.extraction.mobility import ODFlows
+        from repro.geo.coords import Coordinate
+
+        areas = tuple(
+            Area(name=f"X{i}", center=Coordinate(lat=-30 - i, lon=150), population=10, scale=Scale.NATIONAL)
+            for i in range(2)
+        )
+        flows = ODFlows(areas=areas, matrix=np.zeros((2, 2), dtype=np.int64))
+        with pytest.raises(ValueError):
+            network_from_flows(flows)

@@ -1,0 +1,62 @@
+"""Tests for repro.experiments.distance."""
+
+import numpy as np
+import pytest
+
+from repro.data.gazetteer import Scale
+from repro.experiments.distance import _pooled_pairs, run_distance_analysis
+
+
+@pytest.fixture(scope="module")
+def analysis(medium_context):
+    return run_distance_analysis(medium_context)
+
+
+class TestPooledPairs:
+    def test_pool_size_is_sum_of_scales(self, medium_context):
+        pooled = _pooled_pairs(medium_context)
+        expected = sum(len(medium_context.flows(s).pairs()) for s in Scale)
+        assert len(pooled) == expected
+
+    def test_distance_range_spans_scales(self, medium_context):
+        pooled = _pooled_pairs(medium_context)
+        assert pooled.d_km.min() < 30.0  # metropolitan pairs
+        assert pooled.d_km.max() > 2000.0  # national pairs
+
+    def test_source_indices_do_not_collide_across_scales(self, medium_context):
+        pooled = _pooled_pairs(medium_context)
+        national = medium_context.flows(Scale.NATIONAL).pairs()
+        # National block occupies indices 0..19, the rest are offset.
+        assert pooled.source[: len(national)].max() < 20
+        assert pooled.source[len(national):].min() >= 20
+
+
+class TestDistanceAnalysis:
+    def test_gammas_present_for_all_scales(self, analysis):
+        assert set(analysis.gamma_by_scale) == set(Scale)
+        assert np.isfinite(analysis.gamma_pooled)
+
+    def test_flux_decreases_with_distance(self, analysis):
+        """Normalised flux should drop by orders of magnitude from
+        metropolitan to continental distances — the gravity law."""
+        flux = analysis.mean_normalized_flux
+        assert flux[0] > 10 * flux[-1]
+
+    def test_bins_cover_the_range(self, analysis):
+        assert analysis.bin_centers_km[0] < 30.0
+        assert analysis.bin_centers_km[-1] > 1000.0
+        assert analysis.bin_counts.sum() > 0
+
+    def test_pooled_gamma_positive(self, analysis):
+        """Pooled across four distance decades, deterrence must be real."""
+        assert analysis.gamma_pooled > 0.2
+
+    def test_render(self, analysis):
+        text = analysis.render()
+        assert "gamma" in text
+        assert "pooled" in text
+        assert "km" in text
+
+    def test_accepts_corpus_directly(self, medium_corpus):
+        result = run_distance_analysis(medium_corpus)
+        assert np.isfinite(result.gamma_pooled)

@@ -1,0 +1,37 @@
+"""Tests for repro.experiments.epidemic_forecast."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.epidemic_forecast import run_forecast_experiment
+
+
+@pytest.fixture(scope="module")
+def forecast(medium_context):
+    return run_forecast_experiment(medium_context)
+
+
+class TestForecastLoop:
+    def test_r0_inferred_near_truth(self, forecast):
+        truth = forecast.hidden_beta / forecast.hidden_gamma
+        assert forecast.inferred.r0 == pytest.approx(truth, rel=0.3)
+
+    def test_arrival_forecast_skill(self, forecast):
+        """The forecast must rank city arrivals well — the quantity an
+        outbreak response team acts on."""
+        assert forecast.skill.r > 0.6
+        assert forecast.median_error_days < 10.0
+
+    def test_seed_city_excluded_from_skill(self, forecast):
+        seed_index = forecast.network.names.index(forecast.seed_city)
+        assert forecast.predicted_arrival[seed_index] == 0.0
+
+    def test_render(self, forecast):
+        text = forecast.render()
+        assert "inferred R0" in text
+        assert "arrival-day skill" in text
+
+    def test_different_seed_city(self, medium_context):
+        result = run_forecast_experiment(medium_context, seed_city="Perth")
+        assert result.seed_city == "Perth"
+        assert np.isfinite(result.skill.r)

@@ -1,0 +1,69 @@
+"""Tests for repro.experiments.ground_truth."""
+
+import numpy as np
+import pytest
+
+from repro.data.gazetteer import Scale, areas_for_scale, search_radius_km
+from repro.experiments.ground_truth import (
+    run_ground_truth_validation,
+    true_area_flows,
+)
+
+
+@pytest.fixture(scope="module")
+def ground_truth(medium_result):
+    return run_ground_truth_validation(medium_result)
+
+
+class TestTrueAreaFlows:
+    def test_structure(self, medium_result):
+        areas = areas_for_scale(Scale.NATIONAL)
+        flows = true_area_flows(medium_result, areas, search_radius_km(Scale.NATIONAL))
+        assert flows.matrix.shape == (20, 20)
+        assert np.all(np.diag(flows.matrix) == 0)
+        assert flows.total_trips > 0
+
+    def test_true_and_twitter_flows_are_similar_in_volume(self, medium_result, ground_truth):
+        """Twitter transitions sample true trips; same order of magnitude."""
+        ratio = ground_truth.n_twitter_trips / max(ground_truth.n_true_trips, 1)
+        assert 0.3 < ratio < 3.0
+
+    def test_true_flows_correlate_with_twitter_flows(self, medium_result, medium_context):
+        from repro.stats import log_pearson
+
+        areas = areas_for_scale(Scale.NATIONAL)
+        truth = true_area_flows(medium_result, areas, search_radius_km(Scale.NATIONAL))
+        twitter = medium_context.flows(Scale.NATIONAL)
+        keep = (truth.matrix > 0) & (twitter.matrix > 0)
+        correlation = log_pearson(
+            twitter.matrix[keep].astype(float), truth.matrix[keep].astype(float)
+        )
+        assert correlation.r > 0.8
+
+
+class TestProposalValidation:
+    def test_gravity_predicts_true_flows(self, ground_truth):
+        """The paper's Section IV proposal: census-driven gravity should
+        estimate real-world mobility.  True here."""
+        gravity = ground_truth.true_flow_quality["Gravity 2Param"]
+        assert gravity.pearson_r > 0.6
+
+    def test_radiation_remains_weak_on_true_flows(self, ground_truth):
+        radiation = ground_truth.true_flow_quality["Radiation"]
+        gravity = ground_truth.true_flow_quality["Gravity 2Param"]
+        assert gravity.pearson_r > radiation.pearson_r + 0.15
+
+    def test_all_models_present(self, ground_truth):
+        assert set(ground_truth.twitter_fit_quality) == {
+            "Gravity 4Param",
+            "Gravity 2Param",
+            "Radiation",
+        }
+        assert set(ground_truth.true_flow_quality) == set(
+            ground_truth.twitter_fit_quality
+        )
+
+    def test_render(self, ground_truth):
+        text = ground_truth.render()
+        assert "Ground-truth validation" in text
+        assert "SUPPORTED" in text

@@ -1,0 +1,49 @@
+"""Tests for repro.experiments.report."""
+
+import pytest
+
+from repro.experiments.report import generate_report, reproduction_checklist
+from repro.experiments.runner import run_all_experiments
+
+
+@pytest.fixture(scope="module")
+def suite(medium_corpus):
+    return run_all_experiments(medium_corpus)
+
+
+class TestChecklist:
+    def test_all_claims_evaluated(self, suite):
+        checklist = reproduction_checklist(suite)
+        assert len(checklist) == 7
+        for item in checklist:
+            assert item.claim
+            assert item.detail
+
+    def test_all_claims_pass_on_reference_corpus(self, suite):
+        """The medium reference corpus must reproduce every claim."""
+        checklist = reproduction_checklist(suite)
+        failed = [item.claim for item in checklist if not item.passed]
+        assert failed == []
+
+    def test_details_carry_numbers(self, suite):
+        checklist = reproduction_checklist(suite)
+        assert any("r=" in item.detail for item in checklist)
+
+
+class TestGenerateReport:
+    def test_markdown_structure(self, suite):
+        report = generate_report(suite, title_note="test run")
+        assert report.startswith("# Reproduction report")
+        assert "## Checklist" in report
+        assert "| Claim | Verdict | Measured |" in report
+        assert "## Table II — model performance" in report
+        assert "test run" in report
+
+    def test_all_sections_present(self, suite):
+        report = generate_report(suite)
+        for heading in ("Table I", "Fig 1", "Fig 2", "Fig 3", "Fig 4", "Table II"):
+            assert heading in report
+
+    def test_verdict_summary_counts(self, suite):
+        report = generate_report(suite)
+        assert "7/7 claims reproduced" in report

@@ -1,0 +1,36 @@
+"""Tests for repro.experiments.sensitivity (small, fast sweep points)."""
+
+from repro.experiments.sensitivity import (
+    adoption_noise_sweep,
+    gamma_identifiability_sweep,
+    render_gamma_sweep,
+    render_noise_sweep,
+)
+
+
+class TestGammaSweep:
+    def test_two_point_sweep_orders_correctly(self):
+        points = gamma_identifiability_sweep((0.8, 2.4), n_users=3_000, seed=11)
+        assert points[0].true_gamma == 0.8
+        assert points[1].true_gamma == 2.4
+        # Much stronger deterrence in truth -> larger fitted exponent.
+        assert points[1].fitted_gamma > points[0].fitted_gamma
+
+    def test_render(self):
+        points = gamma_identifiability_sweep((1.6,), n_users=2_000, seed=12)
+        text = render_gamma_sweep(points)
+        assert "true=1.60" in text
+        assert "fitted" in text
+
+
+class TestNoiseSweep:
+    def test_extreme_noise_hurts_national(self):
+        points = adoption_noise_sweep((0.0, 1.5), n_users=3_000, seed=13)
+        assert points[0].adoption_sigma == 0.0
+        assert points[0].national_r > points[1].national_r
+
+    def test_render(self):
+        points = adoption_noise_sweep((0.25,), n_users=2_000, seed=14)
+        text = render_noise_sweep(points)
+        assert "sigma=0.25" in text
+        assert "overall" in text

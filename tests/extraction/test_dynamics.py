@@ -1,0 +1,115 @@
+"""Tests for repro.extraction.dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import TweetCorpus
+from repro.extraction.dynamics import (
+    tweets_per_user_distribution,
+    waiting_time_distribution,
+)
+
+
+def _corpus(user_ids, timestamps):
+    n = len(user_ids)
+    return TweetCorpus.from_arrays(
+        np.asarray(user_ids), np.asarray(timestamps, dtype=np.float64), np.zeros(n), np.zeros(n)
+    )
+
+
+class TestTweetsPerUser:
+    def test_raw_counts(self):
+        corpus = _corpus([1, 1, 1, 2], [0, 1, 2, 0])
+        dist = tweets_per_user_distribution(corpus)
+        assert sorted(dist.raw.tolist()) == [1.0, 3.0]
+
+    def test_pdf_positive_and_bins_nonempty(self, small_corpus):
+        dist = tweets_per_user_distribution(small_corpus)
+        assert np.all(dist.pdf > 0)
+        assert dist.bin_centers.size > 0
+
+    def test_spans_multiple_decades(self, small_corpus):
+        dist = tweets_per_user_distribution(small_corpus)
+        assert dist.decades_spanned >= 2.0
+
+    def test_mean_matches_corpus(self, small_corpus):
+        dist = tweets_per_user_distribution(small_corpus)
+        assert dist.mean() == pytest.approx(
+            len(small_corpus) / small_corpus.n_users
+        )
+
+
+class TestWaitingTimes:
+    def test_zero_waits_dropped(self):
+        corpus = _corpus([1, 1, 1], [5.0, 5.0, 10.0])
+        dist = waiting_time_distribution(corpus)
+        assert sorted(dist.raw.tolist()) == [5.0]
+
+    def test_heavy_tail_on_generated_corpus(self, small_corpus):
+        dist = waiting_time_distribution(small_corpus)
+        # Fig 2(b) spans at least eight decades at full scale; the small
+        # test corpus still spans several.
+        assert dist.decades_spanned >= 4.0
+
+    def test_pdf_normalisation(self, small_corpus):
+        dist = waiting_time_distribution(small_corpus)
+        # Integrating the log-binned PDF against bin widths gives ~1.
+        from repro.stats.binning import log_bin_edges
+
+        edges = log_bin_edges(dist.raw.min(), dist.raw.max() * (1 + 1e-12), 4)
+        counts, _ = np.histogram(dist.raw, bins=edges)
+        assert counts.sum() == dist.raw.size
+
+    def test_empty_corpus(self):
+        dist = waiting_time_distribution(_corpus([], []))
+        assert dist.raw.size == 0
+        assert dist.decades_spanned == 0.0
+
+
+class TestBurstiness:
+    def test_poisson_process_near_zero(self):
+        from repro.extraction.dynamics import burstiness_coefficient
+
+        rng = np.random.default_rng(0)
+        waits = rng.exponential(100.0, 100_000)
+        assert abs(burstiness_coefficient(waits)) < 0.02
+
+    def test_regular_signal_is_minus_one(self):
+        from repro.extraction.dynamics import burstiness_coefficient
+
+        assert burstiness_coefficient(np.full(1000, 60.0)) == pytest.approx(-1.0)
+
+    def test_heavy_tail_is_positive(self, small_corpus):
+        from repro.extraction.dynamics import burstiness_coefficient
+
+        b = burstiness_coefficient(small_corpus.waiting_times_seconds())
+        assert b > 0.4  # strongly bursty, as in Fig 2(b)
+
+    def test_degenerate_inputs(self):
+        from repro.extraction.dynamics import burstiness_coefficient
+
+        assert burstiness_coefficient(np.array([])) == 0.0
+        assert burstiness_coefficient(np.array([5.0])) == 0.0
+
+
+class TestMemoryCoefficient:
+    def test_iid_waits_have_no_memory(self, small_corpus):
+        from repro.extraction.dynamics import memory_coefficient
+
+        # The generator draws waits i.i.d., so M should be ~0 — an honest
+        # deviation from real Twitter data (sessions create M > 0).
+        assert abs(memory_coefficient(small_corpus)) < 0.1
+
+    def test_alternating_waits_negative_memory(self):
+        from repro.extraction.dynamics import memory_coefficient
+
+        # One user alternating short/long waits.
+        ts = np.cumsum(np.tile([10.0, 1000.0], 50))
+        corpus = _corpus(np.zeros(100, dtype=np.int64), ts)
+        assert memory_coefficient(corpus) < -0.9
+
+    def test_short_corpus_is_zero(self):
+        from repro.extraction.dynamics import memory_coefficient
+
+        corpus = _corpus([1, 1], [0.0, 10.0])
+        assert memory_coefficient(corpus) == 0.0

@@ -1,0 +1,115 @@
+"""Tests for repro.extraction.homes."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import TweetCorpus
+from repro.data.gazetteer import Area, Scale, areas_for_scale
+from repro.extraction.homes import detect_home_locations, home_based_population
+from repro.geo.coords import Coordinate
+from repro.geo.distance import points_to_point_km
+
+
+def _corpus(rows):
+    """rows: (user, ts, lat, lon)."""
+    users = np.array([r[0] for r in rows])
+    ts = np.array([r[1] for r in rows], dtype=np.float64)
+    lats = np.array([r[2] for r in rows])
+    lons = np.array([r[3] for r in rows])
+    return TweetCorpus.from_arrays(users, ts, lats, lons)
+
+
+class TestDetectHomeLocations:
+    def test_modal_position_wins(self):
+        corpus = _corpus(
+            [
+                (1, 0, -33.0, 151.0),
+                (1, 1, -33.0, 151.0),
+                (1, 2, -33.0, 151.0),
+                (1, 3, -37.8, 145.0),  # one holiday tweet
+            ]
+        )
+        homes = detect_home_locations(corpus)
+        assert homes.lats[0] == pytest.approx(-33.0)
+        assert homes.confidence[0] == pytest.approx(0.75)
+
+    def test_rounding_groups_nearby_points(self):
+        # Points within ~50 m collapse into one place at 3 decimals.
+        corpus = _corpus(
+            [
+                (1, 0, -33.0001, 151.0001),
+                (1, 1, -33.0002, 151.0002),
+                (1, 2, -37.8, 145.0),
+            ]
+        )
+        homes = detect_home_locations(corpus, round_decimals=3)
+        assert homes.lats[0] == pytest.approx(-33.00015)
+        assert homes.confidence[0] == pytest.approx(2 / 3)
+
+    def test_single_tweet_user(self):
+        corpus = _corpus([(1, 0, -20.0, 130.0)])
+        homes = detect_home_locations(corpus)
+        assert homes.confidence[0] == 1.0
+        assert len(homes) == 1
+
+    def test_alignment_with_unique_users(self, small_corpus):
+        homes = detect_home_locations(small_corpus)
+        assert np.array_equal(homes.user_ids, small_corpus.unique_users)
+        assert np.all((homes.confidence > 0) & (homes.confidence <= 1.0))
+
+    def test_recovers_generator_ground_truth(self, small_result):
+        """Detected homes must land near each user's true home site."""
+        corpus = small_result.corpus
+        world = small_result.world
+        homes = detect_home_locations(corpus)
+        near = 0
+        sample = homes.user_ids[:500]
+        for i, user_id in enumerate(sample):
+            site = world.sites[small_result.home_sites[user_id]]
+            d = points_to_point_km(
+                np.array([homes.lats[i]]), np.array([homes.lons[i]]), site.activity_center
+            )[0]
+            if d < 10 * site.scatter_km:
+                near += 1
+        assert near / len(sample) > 0.85
+
+
+class TestHomeBasedPopulation:
+    def test_each_user_counted_once(self, small_corpus):
+        homes = detect_home_locations(small_corpus)
+        counts = home_based_population(
+            homes, areas_for_scale(Scale.NATIONAL), 50.0
+        )
+        assert counts.sum() <= len(homes)
+
+    def test_correlates_with_census(self, medium_corpus):
+        from repro.stats import log_pearson
+
+        homes = detect_home_locations(medium_corpus)
+        areas = areas_for_scale(Scale.NATIONAL)
+        counts = home_based_population(homes, areas, 50.0)
+        census = np.array([a.population for a in areas], dtype=np.float64)
+        assert log_pearson(counts.astype(np.float64), census).r > 0.8
+
+    def test_confidence_filter_reduces_counts(self, small_corpus):
+        homes = detect_home_locations(small_corpus)
+        areas = areas_for_scale(Scale.NATIONAL)
+        loose = home_based_population(homes, areas, 50.0, min_confidence=0.0)
+        strict = home_based_population(homes, areas, 50.0, min_confidence=0.9)
+        assert strict.sum() <= loose.sum()
+
+    def test_overlapping_areas_assign_nearest(self):
+        area_a = Area(name="A", center=Coordinate(lat=-33.0, lon=151.0), population=10, scale=Scale.NATIONAL)
+        area_b = Area(name="B", center=Coordinate(lat=-33.0, lon=151.05), population=10, scale=Scale.NATIONAL)
+        corpus = _corpus([(1, 0, -33.0, 151.005)])  # close to A
+        homes = detect_home_locations(corpus)
+        counts = home_based_population(homes, [area_a, area_b], 50.0)
+        assert counts.tolist() == [1, 0]
+
+    def test_invalid_inputs_raise(self, small_corpus):
+        homes = detect_home_locations(small_corpus)
+        areas = areas_for_scale(Scale.NATIONAL)
+        with pytest.raises(ValueError):
+            home_based_population(homes, areas, 0.0)
+        with pytest.raises(ValueError):
+            home_based_population(homes, areas, 50.0, min_confidence=1.5)

@@ -1,0 +1,89 @@
+"""Tests for repro.extraction.od_time."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import TweetCorpus
+from repro.data.gazetteer import Scale, areas_for_scale, search_radius_km
+from repro.extraction.od_time import MONTH_SECONDS, flow_stability, periodic_flows
+
+AREAS = areas_for_scale(Scale.NATIONAL)
+RADIUS = search_radius_km(Scale.NATIONAL)
+SYDNEY = AREAS[0].center
+MELBOURNE = AREAS[1].center
+
+
+def _corpus(rows):
+    """rows: (user, ts, lat, lon)."""
+    users = np.array([r[0] for r in rows])
+    ts = np.array([r[1] for r in rows], dtype=np.float64)
+    lats = np.array([r[2] for r in rows])
+    lons = np.array([r[3] for r in rows])
+    return TweetCorpus.from_arrays(users, ts, lats, lons)
+
+
+class TestPeriodicFlows:
+    def test_trip_attributed_to_second_tweet_period(self):
+        # First tweet in period 0, second in period 1: the trip belongs
+        # to period 1.
+        corpus = _corpus(
+            [
+                (1, 10.0, SYDNEY.lat, SYDNEY.lon),
+                (1, MONTH_SECONDS + 20.0, MELBOURNE.lat, MELBOURNE.lon),
+            ]
+        )
+        periods = periodic_flows(corpus, AREAS, RADIUS)
+        assert periods[0].flows.total_trips == 0
+        assert periods[1].flows.total_trips == 1
+
+    def test_within_period_trip(self):
+        corpus = _corpus(
+            [
+                (1, 10.0, SYDNEY.lat, SYDNEY.lon),
+                (1, 20.0, MELBOURNE.lat, MELBOURNE.lon),
+            ]
+        )
+        periods = periodic_flows(corpus, AREAS, RADIUS)
+        assert periods[0].flows.total_trips == 1
+
+    def test_total_trips_conserved_across_periods(self, small_corpus):
+        from repro.extraction import assign_tweets_to_areas, extract_od_flows
+
+        periods = periodic_flows(small_corpus, AREAS, RADIUS)
+        split_total = sum(p.flows.total_trips for p in periods)
+        labels = assign_tweets_to_areas(small_corpus, AREAS, RADIUS)
+        batch_total = extract_od_flows(small_corpus, labels, AREAS).total_trips
+        assert split_total == batch_total
+
+    def test_empty_corpus(self):
+        assert periodic_flows(TweetCorpus.from_tweets([]), AREAS, RADIUS) == []
+
+    def test_invalid_period(self, small_corpus):
+        with pytest.raises(ValueError):
+            periodic_flows(small_corpus, AREAS, RADIUS, period_seconds=0.0)
+
+    def test_periods_cover_span(self, small_corpus):
+        periods = periodic_flows(small_corpus, AREAS, RADIUS)
+        assert periods[0].start_ts <= small_corpus.timestamps.min()
+        assert periods[-1].end_ts > small_corpus.timestamps.max()
+        assert len(periods[0].label) > 0
+
+
+class TestFlowStability:
+    def test_monthly_structure_is_stable(self, medium_corpus):
+        """The property a responsive forecaster needs: consecutive
+        months' OD matrices overlap substantially."""
+        result = flow_stability(medium_corpus, AREAS, RADIUS)
+        assert result.consecutive_cpc.size >= 5
+        assert result.mean_cpc > 0.5
+
+    def test_degenerate_corpus(self):
+        corpus = _corpus([(1, 10.0, SYDNEY.lat, SYDNEY.lon)])
+        result = flow_stability(corpus, AREAS, RADIUS)
+        assert result.mean_cpc == 0.0
+        assert result.consecutive_cpc.size == 0
+
+    def test_render(self, medium_corpus):
+        text = flow_stability(medium_corpus, AREAS, RADIUS).render()
+        assert "stability" in text
+        assert "mean consecutive CPC" in text

@@ -1,0 +1,94 @@
+"""Tests for repro.extraction.trajectories."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import TweetCorpus
+from repro.extraction.trajectories import (
+    Trajectory,
+    displacement_distribution,
+    mean_radius_of_gyration,
+    radius_of_gyration,
+    user_trajectory,
+)
+from repro.geo.distance import haversine_km
+
+
+def _corpus(rows):
+    """rows: list of (user, ts, lat, lon)."""
+    users = np.array([r[0] for r in rows])
+    ts = np.array([r[1] for r in rows], dtype=np.float64)
+    lats = np.array([r[2] for r in rows])
+    lons = np.array([r[3] for r in rows])
+    return TweetCorpus.from_arrays(users, ts, lats, lons)
+
+
+class TestUserTrajectory:
+    def test_extracts_in_time_order(self):
+        corpus = _corpus([(1, 10.0, -33.0, 151.0), (1, 5.0, -34.0, 150.0)])
+        trajectory = user_trajectory(corpus, 1)
+        assert trajectory.timestamps.tolist() == [5.0, 10.0]
+        assert trajectory.lats.tolist() == [-34.0, -33.0]
+
+    def test_jump_lengths(self):
+        corpus = _corpus([(1, 0.0, -33.0, 151.0), (1, 1.0, -34.0, 151.0)])
+        trajectory = user_trajectory(corpus, 1)
+        expected = haversine_km((-33.0, 151.0), (-34.0, 151.0))
+        assert trajectory.jump_lengths_km()[0] == pytest.approx(expected)
+        assert trajectory.total_distance_km() == pytest.approx(expected)
+
+    def test_missing_user_raises(self):
+        corpus = _corpus([(1, 0.0, -33.0, 151.0)])
+        with pytest.raises(KeyError):
+            user_trajectory(corpus, 2)
+
+
+class TestRadiusOfGyration:
+    def test_single_point_is_zero(self):
+        t = Trajectory(1, np.array([0.0]), np.array([-33.0]), np.array([151.0]))
+        assert radius_of_gyration(t) == pytest.approx(0.0, abs=1e-6)
+
+    def test_repeated_point_is_zero(self):
+        t = Trajectory(
+            1, np.arange(5.0), np.full(5, -33.0), np.full(5, 151.0)
+        )
+        assert radius_of_gyration(t) == pytest.approx(0.0, abs=1e-6)
+
+    def test_two_points_half_separation(self):
+        a, b = (-33.0, 151.0), (-33.0, 152.0)
+        t = Trajectory(1, np.array([0.0, 1.0]), np.array([a[0], b[0]]), np.array([a[1], b[1]]))
+        half = haversine_km(a, b) / 2
+        assert radius_of_gyration(t) == pytest.approx(half, rel=0.01)
+
+    def test_empty_trajectory(self):
+        t = Trajectory(1, np.empty(0), np.empty(0), np.empty(0))
+        assert radius_of_gyration(t) == 0.0
+
+
+class TestDisplacements:
+    def test_pooled_excludes_cross_user(self):
+        corpus = _corpus(
+            [
+                (1, 0.0, -33.0, 151.0),
+                (1, 1.0, -34.0, 151.0),
+                (2, 0.0, -20.0, 130.0),
+            ]
+        )
+        jumps = displacement_distribution(corpus)
+        assert jumps.size == 1
+
+    def test_min_km_filters_stationary_posts(self):
+        corpus = _corpus([(1, 0.0, -33.0, 151.0), (1, 1.0, -33.0, 151.0)])
+        assert displacement_distribution(corpus).size == 0
+
+    def test_generated_corpus_has_long_jumps(self, small_corpus):
+        jumps = displacement_distribution(small_corpus)
+        assert jumps.size > 0
+        assert jumps.max() > 500.0  # inter-city trips exist
+
+    def test_mean_radius_of_gyration_positive(self, small_corpus):
+        # Restrict to a subset for speed: take the first 200 users.
+        subset_users = small_corpus.unique_users[:200]
+        mask = np.isin(small_corpus.user_ids, subset_users)
+        sub = small_corpus.subset(mask)
+        assert mean_radius_of_gyration(sub) >= 0.0

@@ -1,0 +1,97 @@
+"""Tests for repro.extraction.visitation."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import TweetCorpus
+from repro.extraction.visitation import (
+    exploration_curve,
+    return_fraction,
+    visitation_zipf,
+)
+
+
+def _corpus_from_places(user_places):
+    """user_places: dict user -> list of (lat, lon) in time order."""
+    rows = []
+    for user, places in user_places.items():
+        for i, (lat, lon) in enumerate(places):
+            rows.append((user, float(i), lat, lon))
+    users = np.array([r[0] for r in rows])
+    ts = np.array([r[1] for r in rows])
+    lats = np.array([r[2] for r in rows])
+    lons = np.array([r[3] for r in rows])
+    return TweetCorpus.from_arrays(users, ts, lats, lons)
+
+
+HOME = (-33.0, 151.0)
+WORK = (-33.1, 151.1)
+CAFE = (-33.2, 151.2)
+
+
+class TestReturnFraction:
+    def test_pure_commuter_always_returns(self):
+        corpus = _corpus_from_places({1: [HOME, WORK, HOME, WORK, HOME]})
+        # Moves: H->W (new), W->H (return), H->W (return), W->H (return).
+        assert return_fraction(corpus) == pytest.approx(3 / 4)
+
+    def test_pure_explorer_never_returns(self):
+        places = [(-33.0 - 0.1 * i, 151.0) for i in range(5)]
+        corpus = _corpus_from_places({1: places})
+        assert return_fraction(corpus) == 0.0
+
+    def test_stationary_user_has_no_moves(self):
+        corpus = _corpus_from_places({1: [HOME, HOME, HOME]})
+        assert return_fraction(corpus) == 0.0
+
+    def test_generator_produces_returns(self, small_corpus):
+        """trip_return_bias plus favourite-point reuse must show up."""
+        assert return_fraction(small_corpus) > 0.3
+
+
+class TestVisitationZipf:
+    def test_shares_decrease_with_rank(self, small_corpus):
+        result = visitation_zipf(small_corpus, max_rank=6)
+        shares = result.mean_share[result.mean_share > 0]
+        assert np.all(np.diff(shares) <= 1e-12)
+
+    def test_exponent_positive_for_skewed_visits(self, small_corpus):
+        result = visitation_zipf(small_corpus)
+        assert result.zipf_exponent > 0.3
+
+    def test_no_qualifying_users(self):
+        corpus = _corpus_from_places({1: [HOME, WORK]})
+        result = visitation_zipf(corpus, min_tweets=100)
+        assert result.n_users == 0
+        assert result.zipf_exponent == 0.0
+
+    def test_invalid_rank_raises(self):
+        corpus = _corpus_from_places({1: [HOME, WORK]})
+        with pytest.raises(ValueError):
+            visitation_zipf(corpus, max_rank=1)
+
+    def test_hand_built_shares(self):
+        # 6 tweets at home, 3 at work, 1 at cafe: shares 0.6/0.3/0.1.
+        corpus = _corpus_from_places({1: [HOME] * 6 + [WORK] * 3 + [CAFE]})
+        result = visitation_zipf(corpus, max_rank=3, min_tweets=5)
+        assert result.mean_share[0] == pytest.approx(0.6)
+        assert result.mean_share[1] == pytest.approx(0.3)
+        assert result.mean_share[2] == pytest.approx(0.1)
+
+
+class TestExplorationCurve:
+    def test_distinct_place_counts(self):
+        corpus = _corpus_from_places({1: [HOME, WORK, HOME, CAFE]})
+        curve = exploration_curve(corpus, checkpoints=(1, 2, 4))
+        assert curve.mean_distinct_places[0] == 1.0
+        assert curve.mean_distinct_places[1] == 2.0
+        assert curve.mean_distinct_places[2] == 3.0
+
+    def test_sublinear_growth_on_generated_corpus(self, small_corpus):
+        curve = exploration_curve(small_corpus)
+        assert 0.2 < curve.growth_exponent < 1.0
+
+    def test_monotone_curve(self, small_corpus):
+        curve = exploration_curve(small_corpus)
+        occupied = curve.mean_distinct_places > 0
+        assert np.all(np.diff(curve.mean_distinct_places[occupied]) >= 0)

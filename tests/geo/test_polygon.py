@@ -1,0 +1,154 @@
+"""Tests for repro.geo.polygon."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coords import Coordinate
+from repro.geo.distance import destination_point, haversine_km
+from repro.geo.polygon import Polygon, convex_hull, regular_polygon
+
+SYDNEY = Coordinate(lat=-33.8688, lon=151.2093)
+
+
+class TestPolygonBasics:
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon([(0.0, 0.0), (0.0, 1.0)])
+
+    def test_degenerate_collinear(self):
+        with pytest.raises(ValueError):
+            Polygon([(0.0, 0.0), (0.0, 1.0), (0.0, 2.0)])
+
+    def test_triangle_area(self):
+        # A right triangle with ~111 km legs at the equator.
+        polygon = Polygon([(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)])
+        km_per_deg = 111.195
+        expected = km_per_deg * km_per_deg / 2.0
+        assert polygon.area_km2 == pytest.approx(expected, rel=0.01)
+
+    def test_area_independent_of_winding(self):
+        cw = Polygon([(0.0, 0.0), (0.0, 1.0), (1.0, 1.0), (1.0, 0.0)])
+        ccw = Polygon([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)])
+        assert cw.area_km2 == pytest.approx(ccw.area_km2)
+
+    def test_centroid_of_square(self):
+        polygon = Polygon([(0.0, 0.0), (0.0, 1.0), (1.0, 1.0), (1.0, 0.0)])
+        centroid = polygon.centroid
+        assert centroid.lat == pytest.approx(0.5, abs=1e-6)
+        assert centroid.lon == pytest.approx(0.5, abs=1e-6)
+
+    def test_perimeter_of_square(self):
+        polygon = Polygon([(0.0, 0.0), (0.0, 1.0), (1.0, 1.0), (1.0, 0.0)])
+        assert polygon.perimeter_km == pytest.approx(4 * 111.195, rel=0.01)
+
+
+class TestContainment:
+    def test_center_inside(self):
+        square = Polygon([(-1.0, -1.0), (-1.0, 1.0), (1.0, 1.0), (1.0, -1.0)])
+        assert square.contains(0.0, 0.0)
+
+    def test_outside(self):
+        square = Polygon([(-1.0, -1.0), (-1.0, 1.0), (1.0, 1.0), (1.0, -1.0)])
+        assert not square.contains(2.0, 0.0)
+        assert not square.contains(0.0, -3.0)
+
+    def test_concave_polygon(self):
+        # A "C" shape: the notch must be outside.
+        c_shape = Polygon(
+            [
+                (0.0, 0.0), (3.0, 0.0), (3.0, 1.0), (1.0, 1.0),
+                (1.0, 2.0), (3.0, 2.0), (3.0, 3.0), (0.0, 3.0),
+            ]
+        )
+        assert c_shape.contains(0.5, 0.5)
+        assert c_shape.contains(2.0, 0.5)
+        assert not c_shape.contains(2.0, 1.5)  # inside the notch
+
+    def test_contains_mask_matches_scalar(self):
+        polygon = regular_polygon(SYDNEY, 10.0, n_vertices=7)
+        rng = np.random.default_rng(0)
+        lats = SYDNEY.lat + rng.uniform(-0.3, 0.3, 200)
+        lons = SYDNEY.lon + rng.uniform(-0.3, 0.3, 200)
+        mask = polygon.contains_mask(lats, lons)
+        for i in range(200):
+            assert mask[i] == polygon.contains(lats[i], lons[i])
+
+    def test_shape_mismatch_raises(self):
+        polygon = regular_polygon(SYDNEY, 5.0)
+        with pytest.raises(ValueError):
+            polygon.contains_mask(np.zeros(2), np.zeros(3))
+
+
+class TestRegularPolygon:
+    def test_vertices_at_circumradius(self):
+        hexagon = regular_polygon(SYDNEY, 10.0, n_vertices=6)
+        for lat, lon in zip(hexagon.vertex_lats, hexagon.vertex_lons):
+            assert haversine_km(SYDNEY, (lat, lon)) == pytest.approx(10.0, rel=0.01)
+
+    def test_centroid_at_center(self):
+        hexagon = regular_polygon(SYDNEY, 10.0)
+        assert haversine_km(SYDNEY, hexagon.centroid) < 0.1
+
+    def test_many_sided_polygon_approximates_disc(self):
+        polygon = regular_polygon(SYDNEY, 10.0, n_vertices=64)
+        disc_area = np.pi * 10.0**2
+        assert polygon.area_km2 == pytest.approx(disc_area, rel=0.01)
+
+    @given(
+        st.floats(min_value=0.5, max_value=50.0),
+        st.integers(min_value=3, max_value=20),
+        st.floats(min_value=0, max_value=360),
+    )
+    @settings(max_examples=30)
+    def test_contains_center_property(self, radius, n, rotation):
+        polygon = regular_polygon(SYDNEY, radius, n_vertices=n, rotation_deg=rotation)
+        assert polygon.contains(SYDNEY.lat, SYDNEY.lon)
+
+    @given(st.floats(min_value=1.0, max_value=30.0), st.floats(min_value=0, max_value=360))
+    @settings(max_examples=30)
+    def test_interior_and_exterior_points(self, radius, bearing):
+        hexagon = regular_polygon(SYDNEY, radius, n_vertices=6)
+        # Inside the inscribed circle -> contained.
+        inner = destination_point(SYDNEY, bearing, radius * 0.7)
+        assert hexagon.contains(inner.lat, inner.lon)
+        # Beyond the circumradius -> outside.
+        outer = destination_point(SYDNEY, bearing, radius * 1.2)
+        assert not hexagon.contains(outer.lat, outer.lon)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            regular_polygon(SYDNEY, 0.0)
+        with pytest.raises(ValueError):
+            regular_polygon(SYDNEY, 5.0, n_vertices=2)
+
+
+class TestConvexHull:
+    def test_hull_of_square_corners_plus_interior(self):
+        points = [(0.0, 0.0), (0.0, 1.0), (1.0, 1.0), (1.0, 0.0), (0.5, 0.5)]
+        hull = convex_hull(points)
+        assert len(hull) == 4
+        assert hull.contains(0.5, 0.5)
+
+    def test_hull_contains_all_points(self):
+        rng = np.random.default_rng(1)
+        points = [
+            (SYDNEY.lat + dlat, SYDNEY.lon + dlon)
+            for dlat, dlon in rng.uniform(-0.5, 0.5, (40, 2))
+        ]
+        hull = convex_hull(points)
+        # Interior points (shrunk towards the mean) must be contained.
+        mean_lat = np.mean([p[0] for p in points])
+        mean_lon = np.mean([p[1] for p in points])
+        for lat, lon in points:
+            shrunk = (mean_lat + 0.99 * (lat - mean_lat), mean_lon + 0.99 * (lon - mean_lon))
+            assert hull.contains(*shrunk)
+
+    def test_collinear_points_raise(self):
+        with pytest.raises(ValueError):
+            convex_hull([(0.0, 0.0), (0.0, 1.0), (0.0, 2.0)])
+
+    def test_too_few_points_raise(self):
+        with pytest.raises(ValueError):
+            convex_hull([(0.0, 0.0), (1.0, 1.0)])

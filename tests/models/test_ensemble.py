@@ -1,0 +1,82 @@
+"""Tests for repro.models.ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.data.gazetteer import Scale
+from repro.models import GravityModel, RadiationModel, evaluate_fitted
+from repro.models.base import ModelFitError
+from repro.models.ensemble import StackedModel
+
+
+class TestStackedModel:
+    def test_stack_of_gravity_and_radiation(self, medium_context):
+        flows = medium_context.flows(Scale.NATIONAL)
+        pairs = flows.pairs()
+        stack = StackedModel([GravityModel(2), RadiationModel.from_flows(flows)])
+        fitted = stack.fit(pairs)
+        predictions = fitted.predict(pairs)
+        assert np.all(np.isfinite(predictions))
+        assert np.all(predictions > 0)
+
+    def test_stack_at_least_matches_best_member_log_sse(self, medium_context):
+        """Least squares can only reduce in-sample log-SSE."""
+        flows = medium_context.flows(Scale.NATIONAL)
+        pairs = flows.pairs()
+        stack = StackedModel([GravityModel(2), RadiationModel.from_flows(flows)]).fit(pairs)
+        gravity = GravityModel(2).fit(pairs)
+
+        def log_sse(fitted):
+            estimate = np.maximum(fitted.predict(pairs), 1e-300)
+            return ((np.log(estimate) - np.log(pairs.flow)) ** 2).sum()
+
+        assert log_sse(stack) <= log_sse(gravity) + 1e-6
+
+    def test_radiation_weight_is_small(self, medium_context):
+        """The paper's conclusion restated: radiation adds little beyond
+        gravity on Australian flows (its stack weight stays modest)."""
+        flows = medium_context.flows(Scale.NATIONAL)
+        pairs = flows.pairs()
+        fitted = StackedModel(
+            [GravityModel(2), RadiationModel.from_flows(flows)]
+        ).fit(pairs)
+        gravity_weight = fitted.member_weight("Gravity 2Param")
+        radiation_weight = fitted.member_weight("Radiation")
+        assert abs(gravity_weight) > abs(radiation_weight)
+
+    def test_stack_pearson_competitive(self, medium_context):
+        flows = medium_context.flows(Scale.NATIONAL)
+        pairs = flows.pairs()
+        stack_eval = evaluate_fitted(
+            StackedModel([GravityModel(2), RadiationModel.from_flows(flows)]).fit(pairs),
+            pairs,
+        )
+        gravity_eval = evaluate_fitted(GravityModel(2).fit(pairs), pairs)
+        assert stack_eval.pearson_r > gravity_eval.pearson_r - 0.1
+
+    def test_name_and_weight_lookup(self, medium_context):
+        flows = medium_context.flows(Scale.NATIONAL)
+        pairs = flows.pairs()
+        fitted = StackedModel(
+            [GravityModel(2), RadiationModel.from_flows(flows)]
+        ).fit(pairs)
+        assert "Stacked(" in fitted.name
+        with pytest.raises(KeyError):
+            fitted.member_weight("No Such Model")
+
+    def test_too_few_members_raise(self):
+        with pytest.raises(ValueError):
+            StackedModel([GravityModel(2)])
+
+    def test_too_few_pairs_raise(self, medium_context):
+        from repro.extraction.mobility import ODPairs
+
+        flows = medium_context.flows(Scale.NATIONAL)
+        empty = ODPairs(
+            source=np.empty(0, dtype=np.int64),
+            dest=np.empty(0, dtype=np.int64),
+            m=np.empty(0), n=np.empty(0), d_km=np.empty(0), flow=np.empty(0),
+        )
+        stack = StackedModel([GravityModel(2), RadiationModel.from_flows(flows)])
+        with pytest.raises(ModelFitError):
+            stack.fit(empty)

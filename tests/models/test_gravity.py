@@ -1,0 +1,136 @@
+"""Tests for repro.models.gravity — including exact parameter recovery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extraction.mobility import ODPairs
+from repro.models.base import ModelFitError
+from repro.models.gravity import GravityExpModel, GravityModel, GravityParams
+
+
+def _pairs_from_gravity(alpha, beta, gamma, c, n_areas=12, seed=0, noise=0.0):
+    """Synthetic OD pairs whose flows follow an exact gravity law."""
+    rng = np.random.default_rng(seed)
+    populations = rng.uniform(1e4, 5e6, n_areas)
+    source, dest = np.nonzero(~np.eye(n_areas, dtype=bool))
+    distances = rng.uniform(5.0, 3000.0, source.size)
+    m = populations[source]
+    n = populations[dest]
+    flow = c * m**alpha * n**beta / distances**gamma
+    if noise > 0:
+        flow = flow * np.exp(rng.normal(0, noise, flow.size))
+    return ODPairs(source=source, dest=dest, m=m, n=n, d_km=distances, flow=flow)
+
+
+class TestGravityParams:
+    def test_c_property(self):
+        params = GravityParams(alpha=1, beta=1, gamma=2, log_c=0.0)
+        assert params.c == pytest.approx(1.0)
+
+
+class TestGravity4Param:
+    def test_exact_recovery_on_noiseless_data(self):
+        pairs = _pairs_from_gravity(alpha=0.8, beta=1.2, gamma=1.9, c=1e-4)
+        fitted = GravityModel(4).fit(pairs)
+        assert fitted.params.alpha == pytest.approx(0.8, abs=1e-8)
+        assert fitted.params.beta == pytest.approx(1.2, abs=1e-8)
+        assert fitted.params.gamma == pytest.approx(1.9, abs=1e-8)
+        assert fitted.params.c == pytest.approx(1e-4, rel=1e-6)
+
+    def test_predictions_match_noiseless_flows(self):
+        pairs = _pairs_from_gravity(alpha=1.0, beta=1.0, gamma=1.5, c=2e-6)
+        fitted = GravityModel(4).fit(pairs)
+        assert np.allclose(fitted.predict(pairs), pairs.flow, rtol=1e-6)
+
+    @given(
+        st.floats(min_value=0.3, max_value=2.0),
+        st.floats(min_value=0.3, max_value=2.0),
+        st.floats(min_value=0.5, max_value=3.0),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_recovery_property(self, alpha, beta, gamma, seed):
+        pairs = _pairs_from_gravity(alpha, beta, gamma, c=1e-5, seed=seed)
+        fitted = GravityModel(4).fit(pairs)
+        assert fitted.params.alpha == pytest.approx(alpha, abs=1e-6)
+        assert fitted.params.gamma == pytest.approx(gamma, abs=1e-6)
+
+    def test_robust_under_noise(self):
+        pairs = _pairs_from_gravity(1.0, 1.0, 2.0, c=1e-5, noise=0.5, n_areas=20)
+        fitted = GravityModel(4).fit(pairs)
+        assert fitted.params.gamma == pytest.approx(2.0, abs=0.2)
+
+
+class TestGravity2Param:
+    def test_recovery_with_unit_exponents(self):
+        pairs = _pairs_from_gravity(alpha=1.0, beta=1.0, gamma=1.6, c=3e-5)
+        fitted = GravityModel(2).fit(pairs)
+        assert fitted.params.alpha == 1.0
+        assert fitted.params.beta == 1.0
+        assert fitted.params.gamma == pytest.approx(1.6, abs=1e-8)
+        assert fitted.params.c == pytest.approx(3e-5, rel=1e-6)
+
+    def test_name(self):
+        assert GravityModel(2).name == "Gravity 2Param"
+        assert GravityModel(4).name == "Gravity 4Param"
+
+    def test_invalid_variant_raises(self):
+        with pytest.raises(ValueError):
+            GravityModel(3)
+
+    def test_insufficient_data_raises(self):
+        pairs = ODPairs(
+            source=np.array([0]),
+            dest=np.array([1]),
+            m=np.array([1000.0]),
+            n=np.array([2000.0]),
+            d_km=np.array([10.0]),
+            flow=np.array([5.0]),
+        )
+        with pytest.raises(ModelFitError):
+            GravityModel(2).fit(pairs)
+
+    def test_zero_flows_excluded_from_fit(self):
+        pairs = _pairs_from_gravity(1.0, 1.0, 2.0, c=1e-5)
+        corrupted = ODPairs(
+            source=pairs.source,
+            dest=pairs.dest,
+            m=pairs.m,
+            n=pairs.n,
+            d_km=pairs.d_km,
+            flow=np.where(np.arange(len(pairs)) % 7 == 0, 0.0, pairs.flow),
+        )
+        fitted = GravityModel(2).fit(corrupted)
+        assert fitted.params.gamma == pytest.approx(2.0, abs=1e-6)
+
+
+class TestGravityExp:
+    def test_recovery_of_deterrence_length(self):
+        rng = np.random.default_rng(1)
+        n_areas = 15
+        populations = rng.uniform(1e4, 1e6, n_areas)
+        source, dest = np.nonzero(~np.eye(n_areas, dtype=bool))
+        distances = rng.uniform(10.0, 500.0, source.size)
+        m = populations[source]
+        n = populations[dest]
+        d0 = 120.0
+        flow = 1e-7 * m * n * np.exp(-distances / d0)
+        pairs = ODPairs(source=source, dest=dest, m=m, n=n, d_km=distances, flow=flow)
+        fitted = GravityExpModel().fit(pairs)
+        assert fitted.d0_km == pytest.approx(d0, rel=1e-6)
+        assert np.allclose(fitted.predict(pairs), flow, rtol=1e-6)
+
+    def test_growing_flows_fall_back_to_flat_kernel(self):
+        rng = np.random.default_rng(2)
+        source = np.array([0, 1, 0, 2])
+        dest = np.array([1, 0, 2, 0])
+        m = np.full(4, 1e5)
+        n = np.full(4, 1e5)
+        d = np.array([10.0, 100.0, 200.0, 400.0])
+        flow = d * 1e-3  # grows with distance
+        pairs = ODPairs(source=source, dest=dest, m=m, n=n, d_km=d, flow=flow)
+        fitted = GravityExpModel().fit(pairs)
+        assert fitted.d0_km == float("inf")
+        assert np.all(np.isfinite(fitted.predict(pairs)))

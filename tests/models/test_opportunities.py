@@ -1,0 +1,100 @@
+"""Tests for repro.models.opportunities."""
+
+import numpy as np
+import pytest
+
+from repro.extraction.mobility import ODPairs
+from repro.models.base import ModelFitError
+from repro.models.opportunities import (
+    InterveningOpportunitiesModel,
+    opportunities_base,
+)
+from repro.models.radiation import intervening_population_matrix
+
+
+def _system(seed=0, n=12):
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0, 1000, (n, 2))
+    distances = np.sqrt(((pts[:, None] - pts[None]) ** 2).sum(-1))
+    populations = rng.uniform(1e4, 1e6, n)
+    return populations, distances
+
+
+def _pairs(populations, distances, flow_matrix):
+    n = populations.size
+    source, dest = np.nonzero(~np.eye(n, dtype=bool))
+    return ODPairs(
+        source=source,
+        dest=dest,
+        m=populations[source],
+        n=populations[dest],
+        d_km=distances[source, dest],
+        flow=flow_matrix[source, dest],
+    )
+
+
+class TestOpportunitiesBase:
+    def test_formula(self):
+        n = np.array([100.0])
+        s = np.array([50.0])
+        rate = 0.01
+        expected = np.exp(-rate * 50) - np.exp(-rate * 150)
+        assert opportunities_base(n, s, rate)[0] == pytest.approx(expected)
+
+    def test_positive_for_positive_inputs(self):
+        n = np.array([1.0, 1e6])
+        s = np.array([0.0, 1e7])
+        assert np.all(opportunities_base(n, s, 1e-6) > 0)
+
+    def test_decreasing_in_s(self):
+        n = np.full(5, 1000.0)
+        s = np.array([0.0, 1e3, 1e4, 1e5, 1e6])
+        values = opportunities_base(n, s, 1e-5)
+        assert np.all(np.diff(values) < 0)
+
+
+class TestInterveningOpportunitiesModel:
+    def test_recovers_rate_on_exact_data(self):
+        populations, distances = _system()
+        s = intervening_population_matrix(populations, distances)
+        rate_true = 3e-6
+        c_true = 1e4
+        n = populations.size
+        flow = np.zeros((n, n))
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    flow[i, j] = c_true * opportunities_base(
+                        np.array([populations[j]]), np.array([s[i, j]]), rate_true
+                    )[0]
+        model = InterveningOpportunitiesModel(populations, distances)
+        fitted = model.fit(_pairs(populations, distances, flow))
+        assert fitted.rate == pytest.approx(rate_true, rel=0.01)
+        pairs = _pairs(populations, distances, flow)
+        assert np.allclose(fitted.predict(pairs), pairs.flow, rtol=0.02)
+
+    def test_name(self):
+        populations, distances = _system()
+        model = InterveningOpportunitiesModel(populations, distances)
+        assert model.name == "Intervening Opportunities"
+        assert model.fit is not None
+
+    def test_insufficient_pairs_raise(self):
+        populations, distances = _system()
+        n = populations.size
+        model = InterveningOpportunitiesModel(populations, distances)
+        with pytest.raises(ModelFitError):
+            model.fit(_pairs(populations, distances, np.zeros((n, n))))
+
+    def test_reasonable_on_gravity_flows(self, medium_context):
+        """On real extracted flows the model must fit without error and
+        produce finite positive predictions."""
+        from repro.data.gazetteer import Scale
+
+        flows = medium_context.flows(Scale.NATIONAL)
+        pairs = flows.pairs()
+        model = InterveningOpportunitiesModel.from_flows(flows)
+        fitted = model.fit(pairs)
+        predictions = fitted.predict(pairs)
+        assert np.all(np.isfinite(predictions))
+        assert np.all(predictions > 0)

@@ -1,0 +1,145 @@
+"""Tests for repro.models.variants (constrained gravity, normalized radiation)."""
+
+import numpy as np
+import pytest
+
+from repro.data.gazetteer import Scale
+from repro.models import (
+    DoublyConstrainedGravity,
+    NormalizedRadiation,
+    ProductionConstrainedGravity,
+    RadiationModel,
+    evaluate_fitted,
+)
+from repro.models.base import ModelFitError
+from repro.models.variants import _golden_section
+
+
+class TestGoldenSection:
+    def test_finds_parabola_minimum(self):
+        assert _golden_section(lambda x: (x - 2.3) ** 2, 0.0, 5.0) == pytest.approx(
+            2.3, abs=1e-3
+        )
+
+    def test_boundary_minimum(self):
+        assert _golden_section(lambda x: x, 1.0, 4.0) == pytest.approx(1.0, abs=1e-3)
+
+
+class TestProductionConstrained:
+    def test_row_sums_match_observed_outflows(self, medium_context):
+        flows = medium_context.flows(Scale.NATIONAL)
+        fitted = ProductionConstrainedGravity(flows).fit(flows.pairs())
+        observed_out = flows.matrix.sum(axis=1)
+        predicted_out = fitted.matrix.sum(axis=1)
+        active = observed_out > 0
+        assert np.allclose(predicted_out[active], observed_out[active], rtol=1e-9)
+
+    def test_beats_unconstrained_on_pearson(self, medium_context):
+        from repro.models import GravityModel
+
+        flows = medium_context.flows(Scale.NATIONAL)
+        pairs = flows.pairs()
+        constrained = evaluate_fitted(ProductionConstrainedGravity(flows).fit(pairs), pairs)
+        plain = evaluate_fitted(GravityModel(2).fit(pairs), pairs)
+        # Using the observed marginals is extra information; it should
+        # not do substantially worse.
+        assert constrained.pearson_r > plain.pearson_r - 0.05
+
+    def test_predict_rejects_foreign_pairs(self, medium_context):
+        flows = medium_context.flows(Scale.NATIONAL)
+        fitted = ProductionConstrainedGravity(flows).fit(flows.pairs())
+        foreign = medium_context.flows(Scale.STATE).pairs()
+        # State pairs index the same 0..19 range, so they're accepted
+        # structurally; build an out-of-range pair set instead.
+        from repro.extraction.mobility import ODPairs
+
+        bad = ODPairs(
+            source=np.array([25]),
+            dest=np.array([3]),
+            m=np.array([1.0]),
+            n=np.array([1.0]),
+            d_km=np.array([1.0]),
+            flow=np.array([1.0]),
+        )
+        with pytest.raises(ModelFitError):
+            fitted.predict(bad)
+        assert fitted.predict(foreign).shape == (len(foreign),)
+
+    def test_too_few_pairs_raise(self, medium_context):
+        from repro.extraction.mobility import ODPairs
+
+        flows = medium_context.flows(Scale.NATIONAL)
+        empty = ODPairs(
+            source=np.empty(0, dtype=np.int64),
+            dest=np.empty(0, dtype=np.int64),
+            m=np.empty(0),
+            n=np.empty(0),
+            d_km=np.empty(0),
+            flow=np.empty(0),
+        )
+        with pytest.raises(ModelFitError):
+            ProductionConstrainedGravity(flows).fit(empty)
+
+
+class TestDoublyConstrained:
+    def test_both_margins_match(self, medium_context):
+        flows = medium_context.flows(Scale.NATIONAL)
+        fitted = DoublyConstrainedGravity(flows).fit(flows.pairs())
+        target_rows = flows.matrix.sum(axis=1)
+        target_cols = flows.matrix.sum(axis=0)
+        rows_ok = np.allclose(
+            fitted.matrix.sum(axis=1)[target_rows > 0],
+            target_rows[target_rows > 0],
+            rtol=1e-6,
+        )
+        cols_ok = np.allclose(
+            fitted.matrix.sum(axis=0)[target_cols > 0],
+            target_cols[target_cols > 0],
+            rtol=1e-6,
+        )
+        assert rows_ok and cols_ok
+
+    def test_best_in_family(self, medium_context):
+        """Both margins pinned should give the highest Pearson of the
+        gravity family (it uses the most observed information)."""
+        from repro.models import GravityModel
+
+        flows = medium_context.flows(Scale.NATIONAL)
+        pairs = flows.pairs()
+        doubly = evaluate_fitted(DoublyConstrainedGravity(flows).fit(pairs), pairs)
+        plain = evaluate_fitted(GravityModel(2).fit(pairs), pairs)
+        assert doubly.pearson_r > plain.pearson_r
+
+
+class TestNormalizedRadiation:
+    def test_correction_factors(self, medium_context):
+        flows = medium_context.flows(Scale.NATIONAL)
+        model = NormalizedRadiation.from_flows(flows)
+        populations = flows.populations()
+        share = populations / populations.sum()
+        assert np.allclose(model._correction, 1.0 / (1.0 - share))
+        # Sydney (largest share) gets the largest boost.
+        assert np.argmax(model._correction) == np.argmax(populations)
+
+    def test_normalization_helps_or_matches_radiation(self, medium_context):
+        flows = medium_context.flows(Scale.NATIONAL)
+        pairs = flows.pairs()
+        raw = evaluate_fitted(RadiationModel.from_flows(flows).fit(pairs), pairs)
+        normalized = evaluate_fitted(NormalizedRadiation.from_flows(flows).fit(pairs), pairs)
+        # The correction reweights origins; it should not collapse.
+        assert normalized.pearson_r > raw.pearson_r - 0.15
+
+    def test_still_loses_to_gravity(self, medium_context):
+        """The paper's conclusion survives the finite-size correction:
+        even normalized radiation does not beat gravity on Australia."""
+        from repro.models import GravityModel
+
+        flows = medium_context.flows(Scale.NATIONAL)
+        pairs = flows.pairs()
+        gravity = evaluate_fitted(GravityModel(4).fit(pairs), pairs)
+        normalized = evaluate_fitted(NormalizedRadiation.from_flows(flows).fit(pairs), pairs)
+        assert gravity.pearson_r > normalized.pearson_r
+
+    def test_degenerate_single_area_system_raises(self):
+        with pytest.raises(ModelFitError):
+            NormalizedRadiation(np.array([100.0]), np.zeros((1, 1)))

@@ -1,0 +1,115 @@
+"""Tests for repro.stats.binning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.binning import log_bin_edges, log_binned_means, log_binned_pdf
+
+
+class TestLogBinEdges:
+    def test_covers_range(self):
+        edges = log_bin_edges(1.0, 1000.0, bins_per_decade=2)
+        assert edges[0] == pytest.approx(1.0)
+        assert edges[-1] >= 1000.0
+
+    def test_constant_ratio(self):
+        edges = log_bin_edges(1.0, 100.0, bins_per_decade=4)
+        ratios = edges[1:] / edges[:-1]
+        assert np.allclose(ratios, 10 ** (1 / 4))
+
+    def test_single_value_range(self):
+        edges = log_bin_edges(5.0, 5.0, bins_per_decade=4)
+        assert len(edges) >= 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(x_min=0.0, x_max=1.0),
+            dict(x_min=-1.0, x_max=1.0),
+            dict(x_min=2.0, x_max=1.0),
+            dict(x_min=1.0, x_max=2.0, bins_per_decade=0),
+        ],
+    )
+    def test_invalid_inputs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            log_bin_edges(**{"bins_per_decade": 4, **kwargs})
+
+    @given(
+        st.floats(min_value=1e-6, max_value=1e6),
+        st.floats(min_value=1.0, max_value=1e8),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=40)
+    def test_edges_monotone(self, lo, span, bpd):
+        edges = log_bin_edges(lo, lo * span, bins_per_decade=bpd)
+        assert np.all(np.diff(edges) > 0)
+
+
+class TestLogBinnedPdf:
+    def test_density_integrates_to_one(self):
+        rng = np.random.default_rng(0)
+        sample = rng.pareto(1.5, 20_000) + 1.0
+        centers, density = log_binned_pdf(sample)
+        edges = log_bin_edges(sample.min(), sample.max() * (1 + 1e-12))
+        counts, _ = np.histogram(sample, bins=edges)
+        widths = np.diff(edges)
+        total = (counts / (sample.size * widths) * widths).sum()
+        assert total == pytest.approx(1.0)
+
+    def test_empty_and_nonpositive_sample(self):
+        centers, density = log_binned_pdf(np.array([]))
+        assert centers.size == 0
+        centers, density = log_binned_pdf(np.array([-1.0, 0.0]))
+        assert centers.size == 0
+
+    def test_all_bins_positive(self):
+        sample = np.array([1.0, 2.0, 4.0, 8.0, 100.0])
+        centers, density = log_binned_pdf(sample)
+        assert np.all(density > 0)
+        assert np.all(centers > 0)
+
+    def test_single_value_sample(self):
+        centers, density = log_binned_pdf(np.full(10, 7.0))
+        assert centers.size == 1
+
+
+class TestLogBinnedMeans:
+    def test_constant_y_recovers_constant(self):
+        x = np.logspace(0, 3, 100)
+        y = np.full(100, 5.0)
+        _centers, means, counts = log_binned_means(x, y)
+        assert np.allclose(means, 5.0)
+        assert counts.sum() == 100
+
+    def test_means_are_within_bin(self):
+        x = np.array([1.0, 1.5, 10.0, 15.0])
+        y = np.array([2.0, 4.0, 10.0, 30.0])
+        centers, means, counts = log_binned_means(x, y, bins_per_decade=1)
+        assert means[0] == pytest.approx(3.0)
+        assert means[-1] == pytest.approx(20.0)
+
+    def test_nonpositive_x_dropped(self):
+        x = np.array([-1.0, 0.0, 10.0])
+        y = np.array([1.0, 2.0, 3.0])
+        _centers, means, counts = log_binned_means(x, y)
+        assert counts.sum() == 1
+        assert means.tolist() == [3.0]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            log_binned_means(np.ones(3), np.ones(4))
+
+    def test_empty_input(self):
+        centers, means, counts = log_binned_means(np.array([]), np.array([]))
+        assert centers.size == 0
+
+    @given(st.integers(min_value=1, max_value=500), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30)
+    def test_counts_partition_positive_points(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.lognormal(0, 2, n)
+        y = rng.normal(0, 1, n)
+        _c, _m, counts = log_binned_means(x, y)
+        assert counts.sum() == n

@@ -1,0 +1,86 @@
+"""Tests for repro.stats.concentration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.concentration import gini_coefficient, lorenz_curve, top_share
+
+
+class TestLorenzCurve:
+    def test_endpoints(self):
+        population, cumulative = lorenz_curve(np.array([1.0, 2.0, 3.0]))
+        assert population[0] == 0.0 and cumulative[0] == 0.0
+        assert population[-1] == 1.0 and cumulative[-1] == pytest.approx(1.0)
+
+    def test_equal_values_lie_on_diagonal(self):
+        population, cumulative = lorenz_curve(np.full(10, 5.0))
+        assert np.allclose(population, cumulative)
+
+    def test_curve_below_diagonal(self):
+        rng = np.random.default_rng(0)
+        population, cumulative = lorenz_curve(rng.pareto(1.5, 1000) + 1)
+        assert np.all(cumulative <= population + 1e-12)
+
+    def test_monotone(self):
+        rng = np.random.default_rng(1)
+        _population, cumulative = lorenz_curve(rng.uniform(0, 10, 500))
+        assert np.all(np.diff(cumulative) >= 0)
+
+    @pytest.mark.parametrize(
+        "bad", [np.array([]), np.array([-1.0, 2.0]), np.zeros(5)]
+    )
+    def test_invalid_inputs(self, bad):
+        with pytest.raises(ValueError):
+            lorenz_curve(bad)
+
+
+class TestGini:
+    def test_equal_distribution_is_zero(self):
+        assert gini_coefficient(np.full(100, 7.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_owner_near_one(self):
+        values = np.zeros(1000)
+        values[0] = 100.0
+        assert gini_coefficient(values) == pytest.approx(1.0, abs=0.01)
+
+    def test_known_value_two_units(self):
+        # One unit holds everything of two: Gini = 0.5 exactly.
+        assert gini_coefficient(np.array([0.0, 10.0])) == pytest.approx(0.5)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=2, max_size=200))
+    @settings(max_examples=40)
+    def test_bounds_property(self, values):
+        g = gini_coefficient(np.array(values))
+        assert -1e-9 <= g < 1.0
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(2)
+        values = rng.pareto(2.0, 500) + 1
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient(values * 37.0), rel=1e-9
+        )
+
+
+class TestTopShare:
+    def test_uniform_distribution(self):
+        assert top_share(np.full(100, 1.0), 0.2) == pytest.approx(0.2)
+
+    def test_pareto_principle_on_generated_corpus(self, medium_corpus):
+        """The paper's Section II claim: tweeting follows the Pareto
+        principle — the top 20% of users produce the lion's share."""
+        counts = medium_corpus.tweets_per_user().astype(np.float64)
+        share = top_share(counts, 0.2)
+        assert share > 0.6
+        assert gini_coefficient(counts) > 0.5
+
+    def test_full_quantile_is_everything(self):
+        rng = np.random.default_rng(3)
+        assert top_share(rng.uniform(0, 1, 50), 1.0) == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            top_share(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            top_share(np.array([]), 0.2)

@@ -1,0 +1,68 @@
+"""Tests for repro.stats.rescale."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.rescale import optimal_log_rescale, rescale_to_census
+
+
+class TestOptimalLogRescale:
+    def test_exact_proportionality_recovered(self):
+        census = np.array([1000.0, 5000.0, 20_000.0])
+        twitter = census / 700.0
+        assert optimal_log_rescale(twitter, census) == pytest.approx(700.0)
+
+    def test_geometric_mean_of_ratios(self):
+        twitter = np.array([1.0, 1.0])
+        census = np.array([10.0, 1000.0])
+        assert optimal_log_rescale(twitter, census) == pytest.approx(100.0)
+
+    def test_zero_pairs_excluded(self):
+        twitter = np.array([0.0, 2.0])
+        census = np.array([100.0, 200.0])
+        assert optimal_log_rescale(twitter, census) == pytest.approx(100.0)
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            optimal_log_rescale(np.zeros(3), np.ones(3))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            optimal_log_rescale(np.ones(2), np.ones(3))
+
+    @given(
+        st.floats(min_value=0.01, max_value=1e5),
+        st.integers(min_value=3, max_value=50),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30)
+    def test_recovery_under_any_factor(self, factor, n, seed):
+        rng = np.random.default_rng(seed)
+        census = rng.uniform(100, 1e6, n)
+        assert optimal_log_rescale(census / factor, census) == pytest.approx(
+            factor, rel=1e-9
+        )
+
+
+class TestRescaleToCensus:
+    def test_output_alignment(self):
+        twitter = np.array([0.0, 10.0, 20.0])
+        census = np.array([100.0, 1000.0, 2000.0])
+        rescaled, factor = rescale_to_census(twitter, census)
+        assert rescaled[0] == 0.0
+        assert rescaled[1] == pytest.approx(10.0 * factor)
+        assert factor == pytest.approx(100.0)
+
+    def test_minimises_log_sse(self):
+        rng = np.random.default_rng(0)
+        census = rng.uniform(1e3, 1e6, 20)
+        twitter = census / 500.0 * np.exp(rng.normal(0, 0.3, 20))
+        _rescaled, factor = rescale_to_census(twitter, census)
+
+        def log_sse(c):
+            return ((np.log(c * twitter) - np.log(census)) ** 2).sum()
+
+        assert log_sse(factor) <= log_sse(factor * 1.05)
+        assert log_sse(factor) <= log_sse(factor * 0.95)

@@ -1,0 +1,82 @@
+"""Tests for repro.stats.tails."""
+
+import numpy as np
+import pytest
+
+from repro.stats.tails import (
+    compare_power_law_lognormal,
+    fit_lognormal_tail,
+    ks_two_sample,
+)
+
+
+class TestLognormalFit:
+    def test_recovers_parameters(self):
+        rng = np.random.default_rng(0)
+        sample = rng.lognormal(mean=2.0, sigma=0.8, size=100_000)
+        fit = fit_lognormal_tail(sample, x_min=sample.min())
+        assert fit.mu == pytest.approx(2.0, abs=0.02)
+        assert fit.sigma == pytest.approx(0.8, abs=0.02)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fit_lognormal_tail(np.array([1.0, 2.0]), x_min=0.0)
+        with pytest.raises(ValueError):
+            fit_lognormal_tail(np.array([1.0]), x_min=0.5)
+        with pytest.raises(ValueError):
+            fit_lognormal_tail(np.full(10, 3.0), x_min=1.0)
+
+
+class TestTailComparison:
+    def test_power_law_sample_favors_power_law(self):
+        rng = np.random.default_rng(1)
+        sample = (rng.pareto(1.5, 50_000) + 1.0) * 2.0
+        result = compare_power_law_lognormal(sample, x_min=2.0)
+        assert result.favors_power_law
+        assert not result.favors_lognormal
+
+    def test_lognormal_sample_favors_lognormal(self):
+        rng = np.random.default_rng(2)
+        sample = rng.lognormal(mean=1.0, sigma=0.5, size=50_000)
+        result = compare_power_law_lognormal(sample, x_min=float(np.quantile(sample, 0.1)))
+        assert result.favors_lognormal
+
+    def test_generated_tweets_per_user_is_power_law(self, medium_corpus):
+        """Fig 2(a)'s claim, tested: the corpus's tweets/user tail is a
+        power law, not a lognormal."""
+        counts = medium_corpus.tweets_per_user().astype(np.float64)
+        result = compare_power_law_lognormal(counts, x_min=5.0)
+        assert result.favors_power_law
+
+    def test_too_few_points_raise(self):
+        with pytest.raises(ValueError):
+            compare_power_law_lognormal(np.arange(1.0, 6.0), x_min=1.0)
+
+    def test_result_fields(self):
+        rng = np.random.default_rng(3)
+        sample = rng.pareto(2.0, 5_000) + 1.0
+        result = compare_power_law_lognormal(sample, x_min=1.0)
+        assert result.n_tail == 5_000
+        assert result.alpha > 1.0
+        assert 0.0 <= result.p_value <= 1.0
+
+
+class TestKsTwoSample:
+    def test_identical_samples(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(0, 1, 5_000)
+        statistic, p = ks_two_sample(a, a)
+        assert statistic == 0.0
+        assert p == 1.0
+
+    def test_different_samples_detected(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(0, 1, 5_000)
+        b = rng.normal(1, 1, 5_000)
+        statistic, p = ks_two_sample(a, b)
+        assert statistic > 0.3
+        assert p < 1e-10
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ks_two_sample(np.array([]), np.array([1.0]))

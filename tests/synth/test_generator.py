@@ -1,0 +1,106 @@
+"""Tests for repro.synth.generator."""
+
+import numpy as np
+import pytest
+
+from repro.geo.distance import points_to_point_km
+from repro.synth import SynthConfig, generate_corpus
+from repro.synth.config import COLLECTION_END_TS, COLLECTION_START_TS
+
+
+class TestGeneration:
+    def test_user_count_respected(self, small_result):
+        assert small_result.corpus.n_users == 2_000
+        assert small_result.home_sites.shape == (2_000,)
+
+    def test_deterministic_given_seed(self):
+        a = generate_corpus(SynthConfig(n_users=300, seed=11)).corpus
+        b = generate_corpus(SynthConfig(n_users=300, seed=11)).corpus
+        assert np.array_equal(a.timestamps, b.timestamps)
+        assert np.array_equal(a.lats, b.lats)
+        assert np.array_equal(a.user_ids, b.user_ids)
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(SynthConfig(n_users=300, seed=11)).corpus
+        b = generate_corpus(SynthConfig(n_users=300, seed=12)).corpus
+        assert not np.array_equal(a.lats, b.lats)
+
+    def test_timestamps_inside_collection_window(self, small_corpus):
+        assert small_corpus.timestamps.min() >= COLLECTION_START_TS
+        assert small_corpus.timestamps.max() < COLLECTION_END_TS
+
+    def test_all_tweets_in_australia(self, small_corpus):
+        from repro.geo.bbox import AUSTRALIA_BBOX
+
+        inside = AUSTRALIA_BBOX.contains_mask(small_corpus.lats, small_corpus.lons)
+        assert inside.all()
+
+    def test_site_indices_align_with_corpus(self, small_result):
+        corpus = small_result.corpus
+        world = small_result.world
+        assert small_result.site_indices.shape == (len(corpus),)
+        # Every tweet should be close to its generating site's activity
+        # centre (within the scatter tail).
+        sample = np.random.default_rng(0).choice(len(corpus), 200, replace=False)
+        for row in sample:
+            site = world.sites[small_result.site_indices[row]]
+            d = points_to_point_km(
+                np.array([corpus.lats[row]]),
+                np.array([corpus.lons[row]]),
+                site.activity_center,
+            )[0]
+            assert d < 15 * site.scatter_km + 2.0
+
+    def test_home_sites_follow_weights(self, small_result):
+        # The most-weighted site should be the most common home.
+        counts = np.bincount(small_result.home_sites, minlength=len(small_result.world))
+        top_weighted = int(np.argmax(small_result.site_weights))
+        assert counts[top_weighted] >= np.percentile(counts, 95)
+
+    def test_progress_callback_invoked(self):
+        calls = []
+        generate_corpus(
+            SynthConfig(n_users=5001, seed=1),
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(5000, 5001)]
+
+    def test_heavy_tail_present(self, small_corpus):
+        counts = small_corpus.tweets_per_user()
+        # A power law over [1, 20000] should give a max far above the mean.
+        assert counts.max() > 20 * counts.mean()
+
+    def test_movers_exist(self, small_result):
+        # With p_move > 0 some users must visit more than one site.
+        sites = small_result.site_indices
+        users = small_result.corpus.user_ids
+        multi_site_users = 0
+        for user in np.unique(users)[:500]:
+            user_sites = np.unique(sites[users == user])
+            if user_sites.size > 1:
+                multi_site_users += 1
+        assert multi_site_users > 10
+
+    def test_no_movement_when_p_move_zero(self):
+        result = generate_corpus(SynthConfig(n_users=200, seed=5, p_move=0.0))
+        sites = result.site_indices
+        users = result.corpus.user_ids
+        for user in np.unique(users):
+            assert np.unique(sites[users == user]).size == 1
+
+
+class TestTableOneShape:
+    """The generated corpus must land near the paper's Table I values."""
+
+    def test_average_tweets_per_user(self, medium_corpus):
+        stats = medium_corpus.stats()
+        assert 8.0 < stats.avg_tweets_per_user < 20.0  # paper: 13.3
+
+    def test_average_waiting_time(self, medium_corpus):
+        stats = medium_corpus.stats()
+        assert 20.0 < stats.avg_waiting_time_hours < 60.0  # paper: 35.5
+
+    def test_average_locations_per_user(self, medium_corpus):
+        stats = medium_corpus.stats()
+        assert 2.0 < stats.avg_locations_per_user < 8.0  # paper: 4.76
+        assert stats.avg_locations_per_user < stats.avg_tweets_per_user

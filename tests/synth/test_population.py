@@ -1,0 +1,167 @@
+"""Tests for repro.synth.population (the world model)."""
+
+import numpy as np
+import pytest
+
+from repro.data.gazetteer import Scale, areas_for_scale
+from repro.geo.distance import haversine_km
+from repro.synth.config import SynthConfig
+from repro.synth.population import (
+    Hotspots,
+    World,
+    WorldSite,
+    build_world,
+    home_site_weights,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(SynthConfig(n_users=10), np.random.default_rng(0))
+
+
+class TestBuildWorld:
+    def test_sydney_replaced_by_suburbs_and_fillers(self, world):
+        names = [s.name for s in world.sites]
+        assert "Sydney" not in names
+        assert "Parramatta" in names
+        assert any(name.startswith("Sydney filler") for name in names)
+
+    def test_filler_count_matches_config(self, world):
+        fillers = [s for s in world.sites if s.kind == "filler"]
+        assert len(fillers) == SynthConfig(n_users=10).n_filler_suburbs
+
+    def test_total_population_conserved(self, world):
+        national = areas_for_scale(Scale.NATIONAL)
+        state = areas_for_scale(Scale.STATE)
+        # Every national city's population must be present; NSW-only
+        # cities add on top.  Filler rounding may shift a few heads.
+        national_total = sum(a.population for a in national)
+        assert world.total_population >= national_total * 0.999
+        full_total = national_total + sum(
+            a.population
+            for a in state
+            if a.name not in {c.name for c in national}
+            and a.name not in ("Central Coast",)  # may merge into Sydney/Gosford? kept
+        )
+        assert world.total_population <= full_total * 1.01
+
+    def test_duplicate_cities_merged(self, world):
+        # Newcastle/Wollongong/Albury appear in both national and NSW
+        # lists; the world must hold each once.
+        names = [s.name for s in world.sites]
+        for city in ("Newcastle", "Wollongong"):
+            assert names.count(city) == 1
+
+    def test_fillers_respect_separation(self, world):
+        config = SynthConfig(n_users=10)
+        suburbs = [s for s in world.sites if s.kind == "suburb"]
+        fillers = [s for s in world.sites if s.kind == "filler"]
+        min_gap = min(
+            haversine_km(f.center, s.center) for f in fillers for s in suburbs
+        )
+        assert min_gap >= config.filler_min_separation_km
+
+    def test_activity_center_near_gazetteer_center(self, world):
+        for site in world.sites:
+            offset = haversine_km(site.center, site.activity_center)
+            assert offset < 6 * site.scatter_km
+
+    def test_distance_matrix_consistency(self, world):
+        i, j = 0, len(world) - 1
+        direct = haversine_km(
+            world.sites[i].activity_center, world.sites[j].activity_center
+        )
+        assert world.distance_km[i, j] == pytest.approx(direct, rel=1e-9)
+
+    def test_deterministic_given_rng_seed(self):
+        config = SynthConfig(n_users=10)
+        w1 = build_world(config, np.random.default_rng(7))
+        w2 = build_world(config, np.random.default_rng(7))
+        assert [s.name for s in w1.sites] == [s.name for s in w2.sites]
+        assert np.array_equal(w1.activity_lats, w2.activity_lats)
+
+    def test_every_site_has_hotspots(self, world):
+        for site in world.sites:
+            assert len(site.hotspots) >= 3
+
+
+class TestWorldSiteValidation:
+    def _hotspots(self):
+        return Hotspots(np.array([0.0]), np.array([0.0]), np.array([1.0]))
+
+    def test_non_positive_population_raises(self):
+        from repro.geo.coords import Coordinate
+
+        with pytest.raises(ValueError):
+            WorldSite(
+                name="x",
+                center=Coordinate(lat=0, lon=0),
+                activity_center=Coordinate(lat=0, lon=0),
+                population=0,
+                scatter_km=1.0,
+                kind="city",
+                hotspots=self._hotspots(),
+            )
+
+    def test_non_positive_scatter_raises(self):
+        from repro.geo.coords import Coordinate
+
+        with pytest.raises(ValueError):
+            WorldSite(
+                name="x",
+                center=Coordinate(lat=0, lon=0),
+                activity_center=Coordinate(lat=0, lon=0),
+                population=10,
+                scatter_km=0.0,
+                kind="city",
+                hotspots=self._hotspots(),
+            )
+
+    def test_empty_world_raises(self):
+        with pytest.raises(ValueError):
+            World([])
+
+
+class TestHotspots:
+    def test_weights_normalised(self):
+        h = Hotspots(np.zeros(3), np.zeros(3), np.array([2.0, 1.0, 1.0]))
+        assert h.weights.sum() == pytest.approx(1.0)
+
+    def test_sample_index_in_range(self):
+        h = Hotspots(np.zeros(4), np.zeros(4), np.ones(4))
+        rng = np.random.default_rng(0)
+        indices = [h.sample_index(rng) for _ in range(200)]
+        assert min(indices) >= 0
+        assert max(indices) <= 3
+
+    def test_sampling_respects_weights(self):
+        h = Hotspots(np.zeros(2), np.zeros(2), np.array([0.9, 0.1]))
+        rng = np.random.default_rng(1)
+        draws = np.array([h.sample_index(rng) for _ in range(5000)])
+        assert (draws == 0).mean() == pytest.approx(0.9, abs=0.02)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            Hotspots(np.zeros(2), np.zeros(3), np.ones(2))
+        with pytest.raises(ValueError):
+            Hotspots(np.zeros(0), np.zeros(0), np.ones(0))
+
+
+class TestHomeSiteWeights:
+    def test_sums_to_one(self, world):
+        weights = home_site_weights(world, SynthConfig(n_users=10), np.random.default_rng(0))
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(weights > 0)
+
+    def test_zero_noise_is_proportional_to_population(self, world):
+        config = SynthConfig(n_users=10, adoption_sigma=0.0, small_site_noise=0.0)
+        weights = home_site_weights(world, config, np.random.default_rng(0))
+        expected = world.populations / world.populations.sum()
+        assert np.allclose(weights, expected)
+
+    def test_larger_sites_get_more_weight_on_average(self, world):
+        config = SynthConfig(n_users=10)
+        weights = home_site_weights(world, config, np.random.default_rng(3))
+        big = np.argmax(world.populations)
+        assert weights[big] > np.median(weights)

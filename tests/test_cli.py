@@ -1,0 +1,156 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerateAndStats:
+    def test_generate_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "corpus.csv"
+        code = main(["generate", "--users", "300", "--seed", "1", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr()
+        assert "wrote" in captured.out
+
+    def test_stats_on_generated_corpus(self, tmp_path, capsys):
+        out = tmp_path / "corpus.csv"
+        main(["generate", "--users", "300", "--seed", "1", "--out", str(out)])
+        capsys.readouterr()
+        code = main(["stats", str(out)])
+        assert code == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_generate_deterministic(self, tmp_path):
+        a = tmp_path / "a.csv"
+        b = tmp_path / "b.csv"
+        main(["generate", "--users", "200", "--seed", "3", "--out", str(a)])
+        main(["generate", "--users", "200", "--seed", "3", "--out", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestExperimentCommand:
+    def test_table1_on_synthesised_corpus(self, capsys):
+        code = main(["experiment", "table1", "--users", "500", "--seed", "2"])
+        assert code == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_fig3_runs(self, capsys):
+        code = main(["experiment", "fig3", "--users", "2000", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig 3(a)" in out
+
+    def test_experiment_from_csv(self, tmp_path, capsys):
+        out = tmp_path / "corpus.csv"
+        main(["generate", "--users", "500", "--seed", "4", "--out", str(out)])
+        capsys.readouterr()
+        code = main(["experiment", "fig2", "--corpus", str(out)])
+        assert code == 0
+        assert "Fig 2(a)" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig9"])
+
+
+class TestEpidemicCommand:
+    def test_epidemic_runs(self, capsys):
+        code = main(
+            [
+                "epidemic",
+                "--users", "3000",
+                "--seed", "5",
+                "--seed-city", "Sydney",
+                "--runs", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Outbreak arrival times" in out
+        assert "Sydney" in out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestNewSubcommands:
+    def test_groundtruth(self, capsys):
+        code = main(["groundtruth", "--users", "3000", "--seed", "9"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Ground-truth validation" in out
+
+    def test_validate(self, capsys):
+        code = main(["validate", "--users", "4000", "--seed", "9", "--folds", "3"])
+        assert code == 0
+        assert "cross-validated" in capsys.readouterr().out
+
+    def test_distance(self, capsys):
+        code = main(["distance", "--users", "4000", "--seed", "9"])
+        assert code == 0
+        assert "gamma" in capsys.readouterr().out
+
+    def test_temporal_with_diurnal(self, capsys):
+        code = main(["temporal", "--users", "1000", "--seed", "9", "--diurnal", "0.8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Hourly activity profile" in out
+        assert "day/night activity ratio" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(["report", "--users", "3000", "--seed", "9", "--out", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert text.startswith("# Reproduction report")
+        assert "## Checklist" in text
+
+    def test_health(self, tmp_path, capsys):
+        out = tmp_path / "corpus.csv"
+        main(["generate", "--users", "400", "--seed", "9", "--out", str(out)])
+        capsys.readouterr()
+        code = main(["health", str(out)])
+        assert code == 0
+        assert "Corpus health report" in capsys.readouterr().out
+
+    def test_anonymize(self, tmp_path, capsys):
+        src = tmp_path / "corpus.csv"
+        dst = tmp_path / "anon.csv"
+        main(["generate", "--users", "300", "--seed", "9", "--out", str(src)])
+        capsys.readouterr()
+        code = main(["anonymize", str(src), "--out", str(dst), "--key", "k1"])
+        assert code == 0
+        assert dst.exists()
+        assert "anonymised" in capsys.readouterr().out
+
+    def test_densitymap(self, tmp_path, capsys):
+        out = tmp_path / "map.ppm"
+        code = main(["densitymap", "--users", "800", "--seed", "9", "--out", str(out)])
+        assert code == 0
+        assert out.read_bytes().startswith(b"P6\n")
+
+
+class TestExperimentVariants:
+    """Exercise the remaining experiment CLI paths."""
+
+    def test_fig1(self, capsys):
+        assert main(["experiment", "fig1", "--users", "800", "--seed", "2"]) == 0
+        assert "Fig 1" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["experiment", "fig4", "--users", "3000", "--seed", "2"]) == 0
+        assert "Gravity 2Param" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["experiment", "table2", "--users", "3000", "--seed", "2"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_all(self, capsys):
+        assert main(["experiment", "all", "--users", "2000", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out

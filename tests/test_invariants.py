@@ -1,0 +1,141 @@
+"""Cross-cutting invariants, property-tested.
+
+These tie together modules that the per-module suites test in
+isolation: corpus construction must be order-insensitive, the gravity
+fit must respect the scaling symmetries of its functional form, and the
+extraction pipelines must conserve counts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.corpus import TweetCorpus
+from repro.data.gazetteer import Scale, areas_for_scale, search_radius_km
+from repro.extraction import assign_tweets_to_areas, extract_od_flows
+from repro.extraction.mobility import ODPairs
+from repro.models import GravityModel
+
+
+@st.composite
+def corpora(draw):
+    n = draw(st.integers(min_value=0, max_value=60))
+    users = draw(
+        st.lists(st.integers(min_value=0, max_value=6), min_size=n, max_size=n)
+    )
+    ts = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    lats = draw(
+        st.lists(st.floats(min_value=-44, max_value=-10), min_size=n, max_size=n)
+    )
+    lons = draw(
+        st.lists(st.floats(min_value=113, max_value=154), min_size=n, max_size=n)
+    )
+    return (
+        np.array(users, dtype=np.int64),
+        np.array(ts, dtype=np.float64),
+        np.array(lats, dtype=np.float64),
+        np.array(lons, dtype=np.float64),
+    )
+
+
+class TestCorpusInvariants:
+    @given(corpora(), st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_construction_order_insensitive(self, columns, rng):
+        users, ts, lats, lons = columns
+        corpus_a = TweetCorpus.from_arrays(users, ts, lats, lons)
+        order = list(range(users.size))
+        rng.shuffle(order)
+        order = np.array(order, dtype=np.int64)
+        corpus_b = TweetCorpus.from_arrays(
+            users[order], ts[order], lats[order], lons[order],
+            tweet_ids=np.arange(users.size)[order],
+        )
+        assert np.array_equal(corpus_a.user_ids, corpus_b.user_ids)
+        assert np.array_equal(corpus_a.timestamps, corpus_b.timestamps)
+        # Waiting times (the Fig 2b quantity) must be permutation-proof.
+        assert np.array_equal(
+            corpus_a.waiting_times_seconds(), corpus_b.waiting_times_seconds()
+        )
+
+    @given(corpora())
+    @settings(max_examples=40, deadline=None)
+    def test_counts_conserved(self, columns):
+        users, ts, lats, lons = columns
+        corpus = TweetCorpus.from_arrays(users, ts, lats, lons)
+        assert corpus.tweets_per_user().sum() == len(corpus)
+        if len(corpus):
+            waits = corpus.waiting_times_seconds()
+            assert waits.size == len(corpus) - corpus.n_users
+
+
+class TestGravityScalingSymmetries:
+    def _pairs(self, seed=0):
+        rng = np.random.default_rng(seed)
+        n = 10
+        populations = rng.uniform(1e4, 1e6, n)
+        source, dest = np.nonzero(~np.eye(n, dtype=bool))
+        d = rng.uniform(10, 2000, source.size)
+        flow = 1e-5 * populations[source] * populations[dest] / d**1.7
+        flow *= np.exp(rng.normal(0, 0.3, flow.size))
+        return ODPairs(
+            source=source, dest=dest, m=populations[source], n=populations[dest],
+            d_km=d, flow=flow,
+        )
+
+    @given(st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=20, deadline=None)
+    def test_flow_scaling_moves_only_c(self, factor):
+        pairs = self._pairs()
+        scaled = ODPairs(
+            source=pairs.source, dest=pairs.dest, m=pairs.m, n=pairs.n,
+            d_km=pairs.d_km, flow=pairs.flow * factor,
+        )
+        base = GravityModel(2).fit(pairs).params
+        moved = GravityModel(2).fit(scaled).params
+        assert moved.gamma == pytest.approx(base.gamma, rel=1e-9)
+        assert moved.c == pytest.approx(base.c * factor, rel=1e-9)
+
+    @given(st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_distance_unit_change_moves_only_c(self, unit):
+        """Measuring d in different units rescales C by unit^gamma but
+        leaves the exponents untouched."""
+        pairs = self._pairs(seed=1)
+        rescaled = ODPairs(
+            source=pairs.source, dest=pairs.dest, m=pairs.m, n=pairs.n,
+            d_km=pairs.d_km * unit, flow=pairs.flow,
+        )
+        base = GravityModel(4).fit(pairs).params
+        moved = GravityModel(4).fit(rescaled).params
+        assert moved.alpha == pytest.approx(base.alpha, abs=1e-9)
+        assert moved.beta == pytest.approx(base.beta, abs=1e-9)
+        assert moved.gamma == pytest.approx(base.gamma, abs=1e-9)
+        assert moved.c == pytest.approx(base.c * unit**base.gamma, rel=1e-6)
+
+
+class TestExtractionConservation:
+    def test_trips_bounded_by_adjacent_pairs(self, small_corpus):
+        areas = areas_for_scale(Scale.NATIONAL)
+        labels = assign_tweets_to_areas(
+            small_corpus, areas, search_radius_km(Scale.NATIONAL)
+        )
+        flows = extract_od_flows(small_corpus, labels, areas)
+        same_user_pairs = int(
+            (small_corpus.user_ids[1:] == small_corpus.user_ids[:-1]).sum()
+        )
+        assert flows.total_trips <= same_user_pairs
+
+    def test_larger_radius_never_loses_labels(self, small_corpus):
+        areas = areas_for_scale(Scale.NATIONAL)
+        small = assign_tweets_to_areas(small_corpus, areas, 25.0)
+        large = assign_tweets_to_areas(small_corpus, areas, 50.0)
+        # Every tweet labelled at 25 km is still labelled at 50 km.
+        assert np.all((small == -1) | (large != -1))

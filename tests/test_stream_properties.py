@@ -1,0 +1,104 @@
+"""Property-based tests: windowed counters vs from-scratch recomputation.
+
+Hypothesis drives random time-ordered streams through the windowed
+online counters and checks, after every prefix, that the counters'
+state equals a brute-force recomputation over exactly the tweets whose
+windows are still open.  This is the strongest statement of streaming
+correctness the package makes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.gazetteer import Scale, areas_for_scale
+from repro.data.schema import Tweet
+from repro.geo.distance import haversine_km
+from repro.stream.online import OnlineMobilityCounter, OnlinePopulationCounter
+
+AREAS = areas_for_scale(Scale.NATIONAL)[:5]
+RADIUS = 50.0
+CENTERS = [a.center for a in AREAS]
+OUTBACK = (-25.0, 125.0)
+
+
+@st.composite
+def tweet_streams(draw):
+    """A short, time-ordered stream over a handful of users and places."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=50.0), min_size=n, max_size=n
+        )
+    )
+    timestamps = np.cumsum(gaps)
+    tweets = []
+    for i in range(n):
+        user = draw(st.integers(min_value=0, max_value=4))
+        place_index = draw(st.integers(min_value=0, max_value=len(CENTERS)))
+        if place_index == len(CENTERS):
+            lat, lon = OUTBACK
+        else:
+            lat, lon = CENTERS[place_index].lat, CENTERS[place_index].lon
+        tweets.append(
+            Tweet(user_id=user, timestamp=float(timestamps[i]), lat=lat, lon=lon)
+        )
+    return tweets
+
+
+def _label(tweet):
+    best, best_d = -1, RADIUS
+    for i, center in enumerate(CENTERS):
+        d = haversine_km((tweet.lat, tweet.lon), center)
+        if d <= best_d and (d < best_d or best == -1):
+            best, best_d = i, d
+    return best
+
+
+def _window_population(tweets, now, window):
+    counts = np.zeros(len(AREAS), dtype=np.int64)
+    users = [set() for _ in AREAS]
+    for tweet in tweets:
+        if tweet.timestamp <= now - window:
+            continue
+        for i, center in enumerate(CENTERS):
+            if haversine_km((tweet.lat, tweet.lon), center) <= RADIUS:
+                counts[i] += 1
+                users[i].add(tweet.user_id)
+    return counts, np.array([len(s) for s in users], dtype=np.int64)
+
+
+def _window_mobility(tweets, now, window):
+    matrix = np.zeros((len(AREAS), len(AREAS)), dtype=np.int64)
+    last = {}
+    for tweet in tweets:
+        label = _label(tweet)
+        previous = last.get(tweet.user_id, -1)
+        if previous >= 0 and label >= 0 and previous != label:
+            if tweet.timestamp > now - window:
+                matrix[previous, label] += 1
+        last[tweet.user_id] = label
+    return matrix
+
+
+class TestWindowedEquivalenceProperty:
+    @given(tweet_streams(), st.floats(min_value=5.0, max_value=500.0))
+    @settings(max_examples=40, deadline=None)
+    def test_population_counter(self, tweets, window):
+        counter = OnlinePopulationCounter(AREAS, RADIUS, window_seconds=window)
+        for tweet in tweets:
+            counter.push(tweet)
+        now = tweets[-1].timestamp
+        expected_counts, expected_users = _window_population(tweets, now, window)
+        assert np.array_equal(counter.tweet_counts(), expected_counts)
+        assert np.array_equal(counter.user_counts(), expected_users)
+
+    @given(tweet_streams(), st.floats(min_value=5.0, max_value=500.0))
+    @settings(max_examples=40, deadline=None)
+    def test_mobility_counter(self, tweets, window):
+        counter = OnlineMobilityCounter(AREAS, RADIUS, window_seconds=window)
+        for tweet in tweets:
+            counter.push(tweet)
+        now = tweets[-1].timestamp
+        expected = _window_mobility(tweets, now, window)
+        assert np.array_equal(counter.flow_matrix(), expected)

@@ -1,0 +1,139 @@
+"""Tests for the terminal rendering layer."""
+
+import numpy as np
+import pytest
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.grid import DensityGrid, GridSpec
+from repro.viz.ascii import Canvas, LogAxis, format_power_of_ten, frame
+from repro.viz.density import render_density_map
+from repro.viz.histogram import render_loglog_pdf
+from repro.viz.scatter import render_loglog_scatter
+
+
+class TestLogAxis:
+    def test_bounds_map_to_edges(self):
+        axis = LogAxis(lo=1.0, hi=1000.0, n_cells=30)
+        assert axis.cell(1.0) == 0
+        assert axis.cell(1000.0) == 29
+
+    def test_clamping(self):
+        axis = LogAxis(lo=1.0, hi=100.0, n_cells=10)
+        assert axis.cell(0.0001) == 0
+        assert axis.cell(1e9) == 9
+        assert axis.cell(-5.0) == 0
+
+    def test_decade_ticks(self):
+        axis = LogAxis(lo=1.0, hi=1000.0, n_cells=30)
+        values = [v for _c, v in axis.decade_ticks()]
+        assert values == [1.0, 10.0, 100.0, 1000.0]
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            LogAxis(lo=0.0, hi=10.0, n_cells=5)
+        with pytest.raises(ValueError):
+            LogAxis(lo=10.0, hi=1.0, n_cells=5)
+        with pytest.raises(ValueError):
+            LogAxis(lo=1.0, hi=10.0, n_cells=1)
+
+    def test_format_power_of_ten(self):
+        assert format_power_of_ten(1000.0) == "1e3"
+        assert format_power_of_ten(0.01) == "1e-2"
+
+
+class TestCanvas:
+    def test_set_and_render(self):
+        canvas = Canvas(5, 3)
+        canvas.set(0, 0, "#")
+        canvas.set_xy(4, 0, "@")  # bottom-right in xy coords
+        text = canvas.render()
+        lines = text.split("\n")
+        assert lines[0][0] == "#"
+        assert lines[2][4] == "@"
+
+    def test_out_of_range_ignored(self):
+        canvas = Canvas(2, 2)
+        canvas.set(10, 10, "#")  # no exception
+        assert canvas.get(10, 10) == " "
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Canvas(0, 5)
+
+    def test_frame_has_borders_and_ticks(self):
+        canvas = Canvas(30, 10)
+        x_axis = LogAxis(1.0, 100.0, 30)
+        y_axis = LogAxis(1.0, 100.0, 10)
+        text = frame(canvas, x_axis, y_axis, "T", "xs", "ys")
+        assert text.startswith(" ") or text.startswith("T".center(32)[0])
+        assert "+" + "-" * 30 + "+" in text
+        assert "1e1" in text
+
+
+class TestScatter:
+    def test_contains_markers_and_identity_line(self):
+        x = np.logspace(0, 3, 40)
+        y = x * 1.5
+        text = render_loglog_scatter(x, y, title="demo")
+        assert "+" in text
+        assert "/" in text
+        assert "demo" in text
+
+    def test_binned_means_drawn(self):
+        rng = np.random.default_rng(0)
+        x = rng.lognormal(2, 1.5, 300)
+        y = x * np.exp(rng.normal(0, 0.3, 300))
+        text = render_loglog_scatter(x, y)
+        assert "o" in text
+
+    def test_empty_input_message(self):
+        text = render_loglog_scatter(np.array([0.0]), np.array([0.0]), title="t")
+        assert "no positive points" in text
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_loglog_scatter(np.ones(2), np.ones(3))
+
+    def test_single_point(self):
+        text = render_loglog_scatter(np.array([5.0]), np.array([5.0]))
+        assert "+" in text
+
+
+class TestHistogram:
+    def test_markers_present(self):
+        centers = np.logspace(0, 4, 15)
+        density = centers**-1.5
+        text = render_loglog_pdf(centers, density, title="pdf")
+        assert "*" in text
+        assert "pdf" in text
+
+    def test_empty_message(self):
+        assert "nothing to plot" in render_loglog_pdf(np.array([]), np.array([]), title="x")
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_loglog_pdf(np.ones(2), np.ones(3))
+
+
+class TestDensityMap:
+    def _grid(self):
+        box = BoundingBox(min_lat=-40, max_lat=-10, min_lon=110, max_lon=155)
+        grid = DensityGrid(GridSpec(bbox=box, n_rows=30, n_cols=45))
+        rng = np.random.default_rng(0)
+        grid.add_many(rng.uniform(-40, -10, 3000), rng.uniform(110, 155, 3000))
+        return grid
+
+    def test_renders_with_ramp_legend(self):
+        text = render_density_map(self._grid(), title="map")
+        assert "map" in text
+        assert "log10 tweet density" in text
+
+    def test_empty_grid_message(self):
+        box = BoundingBox(min_lat=0, max_lat=1, min_lon=0, max_lon=1)
+        grid = DensityGrid(GridSpec(bbox=box, n_rows=3, n_cols=3))
+        assert "empty density grid" in render_density_map(grid, title="x")
+
+    def test_width_capped(self):
+        text = render_density_map(self._grid(), max_width=20)
+        body_lines = [l for l in text.split("\n")[1:-1]]
+        assert all(len(line) <= 20 for line in body_lines)
