@@ -1,0 +1,124 @@
+"""P1 — pipeline caching and parallelism benchmark.
+
+Measures three full experiment-suite runs over one configuration:
+
+* **cold**   — empty artifact store, serial (``jobs=1``): every task
+  body executes;
+* **warm**   — same store again: every task must be a cache hit and
+  zero bodies may execute;
+* **parallel** — fresh store, ``--jobs N``: sharded generation plus
+  process-parallel artefact nodes.
+
+Emits a JSON summary (stdout or ``--out``), e.g.::
+
+    python benchmarks/bench_pipeline.py --users 25000 --jobs 4 --out p1.json
+
+The script asserts the acceptance guarantees while measuring: the warm
+run executes zero task bodies and is faster than the cold run, and the
+parallel run's corpus digest equals the serial run's (bit-identical
+sharded generation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+
+from repro.pipeline import ArtifactStore, run_suite
+from repro.synth import SynthConfig
+
+DEFAULT_USERS = 25_000
+DEFAULT_SEED = 20150413
+
+
+def _timed_run(config: SynthConfig, store: ArtifactStore, jobs: int):
+    start = time.perf_counter()
+    _, run = run_suite(config=config, store=store, jobs=jobs)
+    return time.perf_counter() - start, run
+
+
+def run_benchmark(users: int, seed: int, jobs: int, cache_dir: str) -> dict:
+    """Cold vs warm vs parallel timings plus manifest-derived counters."""
+    config = SynthConfig(n_users=users, seed=seed)
+
+    cold_store = ArtifactStore(cache_dir + "/cold")
+    cold_store.clear()
+    cold_seconds, cold = _timed_run(config, cold_store, jobs=1)
+    warm_seconds, warm = _timed_run(config, cold_store, jobs=1)
+
+    parallel_store = ArtifactStore(cache_dir + "/parallel")
+    parallel_store.clear()
+    parallel_seconds, parallel = _timed_run(config, parallel_store, jobs=jobs)
+
+    assert warm.manifest.executed == 0, "warm run executed task bodies"
+    assert warm_seconds < cold_seconds, "warm run not faster than cold"
+    assert parallel.digests["corpus"] == cold.digests["corpus"], (
+        "sharded corpus differs from serial corpus"
+    )
+
+    return {
+        "users": users,
+        "seed": seed,
+        "jobs": jobs,
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "cold_tasks_executed": cold.manifest.executed,
+        "warm_tasks_executed": warm.manifest.executed,
+        "warm_cache_hits": warm.manifest.hits,
+        "parallel_tasks_executed": parallel.manifest.executed,
+        "warm_speedup": round(cold_seconds / max(warm_seconds, 1e-9), 1),
+        "parallel_speedup": round(cold_seconds / max(parallel_seconds, 1e-9), 2),
+        "corpus_digest": cold.digests["corpus"],
+        "sharded_corpus_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=DEFAULT_USERS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--jobs", type=int, default=4, help="parallel-run workers")
+    parser.add_argument(
+        "--cache-dir", help="benchmark cache root (default: a temp dir)"
+    )
+    parser.add_argument("--out", help="write the JSON summary here (else stdout)")
+    args = parser.parse_args(argv)
+
+    if args.cache_dir:
+        summary = run_benchmark(args.users, args.seed, args.jobs, args.cache_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
+            summary = run_benchmark(args.users, args.seed, args.jobs, cache_dir)
+
+    text = json.dumps(summary, indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def test_pipeline_cold_warm_parallel(tmp_path):
+    """Harness entry: small-scale cold/warm/parallel benchmark.
+
+    Uses a corpus an order of magnitude below the CLI default so the
+    whole check stays in the seconds range under pytest.
+    """
+    summary = run_benchmark(
+        users=3_000, seed=DEFAULT_SEED, jobs=2, cache_dir=str(tmp_path)
+    )
+    print()
+    print(json.dumps(summary, indent=2))
+    assert summary["warm_tasks_executed"] == 0
+    assert summary["warm_seconds"] < summary["cold_seconds"]
+    assert summary["sharded_corpus_identical"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,14 +2,21 @@
 
 Usage (installed as ``repro`` or via ``python -m repro``)::
 
-    repro generate --users 40000 --out corpus.csv
+    repro generate --users 40000 --jobs 4 --out corpus.csv
     repro stats corpus.csv
     repro experiment all --users 40000
     repro experiment table2 --corpus corpus.csv
+    repro pipeline run --users 40000 --jobs 4
+    repro pipeline status
+    repro pipeline clean
     repro epidemic --users 20000 --seed-city Sydney --model gravity2
 
 ``experiment`` accepts either ``--corpus FILE`` (a CSV written by
 ``generate``) or ``--users N`` to synthesise a corpus on the fly.
+``experiment all`` delegates to the cached DAG pipeline (see
+``repro pipeline``); pass ``--no-cache`` for the direct in-process path.
+All pipeline-backed commands honour ``--cache-dir`` (default
+``~/.cache/repro`` or ``$REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -52,6 +59,11 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--users", type=int, default=40_000, help="number of users")
     gen.add_argument("--seed", type=int, default=20150413, help="RNG seed")
     gen.add_argument("--out", required=True, help="output CSV path")
+    gen.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sharded generation (output is "
+        "bit-identical to --jobs 1)",
+    )
 
     stats = sub.add_parser("stats", help="print Table I statistics for a corpus CSV")
     stats.add_argument("corpus", help="corpus CSV path")
@@ -61,6 +73,39 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--corpus", help="corpus CSV (else synthesise)")
     exp.add_argument("--users", type=int, default=40_000, help="users to synthesise")
     exp.add_argument("--seed", type=int, default=20150413, help="RNG seed")
+    exp.add_argument("--jobs", type=int, default=1, help="worker processes ('all' only)")
+    exp.add_argument("--cache-dir", help="artifact cache directory ('all' only)")
+    exp.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the pipeline cache and run 'all' directly in-process",
+    )
+
+    pipe = sub.add_parser(
+        "pipeline", help="cached DAG runner for the experiment suite"
+    )
+    pipe_sub = pipe.add_subparsers(dest="pipeline_command", required=True)
+    prun = pipe_sub.add_parser("run", help="run (or cache-resolve) the suite DAG")
+    prun.add_argument("--corpus", help="corpus CSV (else synthesise)")
+    prun.add_argument("--users", type=int, default=40_000, help="users to synthesise")
+    prun.add_argument("--seed", type=int, default=20150413, help="RNG seed")
+    prun.add_argument("--jobs", type=int, default=1, help="parallel task/shard workers")
+    prun.add_argument("--cache-dir", help="artifact cache directory")
+    prun.add_argument(
+        "--force", action="store_true", help="re-run every task, ignoring the cache"
+    )
+    prun.add_argument(
+        "--targets", nargs="*", default=None, metavar="TASK",
+        help="run only these tasks (plus their dependencies)",
+    )
+    pstatus = pipe_sub.add_parser(
+        "status", help="per-task cache state for a configuration"
+    )
+    pstatus.add_argument("--corpus", help="corpus CSV (else synthesise)")
+    pstatus.add_argument("--users", type=int, default=40_000, help="users to synthesise")
+    pstatus.add_argument("--seed", type=int, default=20150413, help="RNG seed")
+    pstatus.add_argument("--cache-dir", help="artifact cache directory")
+    pclean = pipe_sub.add_parser("clean", help="delete every cached artifact and run")
+    pclean.add_argument("--cache-dir", help="artifact cache directory")
 
     epi = sub.add_parser("epidemic", help="disease-spread forecast on fitted mobility")
     epi.add_argument("--users", type=int, default=20_000, help="users to synthesise")
@@ -141,8 +186,13 @@ def _load_or_generate(args: argparse.Namespace) -> TweetCorpus:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        print(f"repro generate: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
     start = time.time()
-    result = generate_corpus(SynthConfig(n_users=args.users, seed=args.seed))
+    result = generate_corpus(
+        SynthConfig(n_users=args.users, seed=args.seed), jobs=args.jobs
+    )
     count = write_tweets_csv(result.corpus.iter_tweets(), args.out)
     print(
         f"wrote {count} tweets by {result.corpus.n_users} users to {args.out} "
@@ -158,6 +208,35 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.which == "all" and not args.no_cache:
+        from repro.experiments.runner import run_all_experiments_cached
+        from repro.pipeline import TaskFailure
+
+        if args.jobs < 1:
+            print(
+                f"repro experiment: --jobs must be >= 1, got {args.jobs}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            suite, run = run_all_experiments_cached(
+                config=None if args.corpus else SynthConfig(
+                    n_users=args.users, seed=args.seed
+                ),
+                corpus_path=args.corpus,
+                cache_dir=args.cache_dir,
+                jobs=args.jobs,
+            )
+        except TaskFailure as failure:
+            print(
+                f"experiment suite failed at task '{failure.task_name}': "
+                f"{failure.cause!r}",
+                file=sys.stderr,
+            )
+            return 1
+        print(suite.render())
+        print(run.manifest.summary(), file=sys.stderr)
+        return 0
     corpus = _load_or_generate(args)
     if args.which == "all":
         print(run_all_experiments(corpus).render())
@@ -172,6 +251,96 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "table2": lambda: run_table2(context),
     }
     print(runners[args.which]().render())
+    return 0
+
+
+def _pipeline_status_text(pipeline, store) -> str:
+    """Per-task cache state, resolving keys as far as the cache allows."""
+    digests: dict[str, str] = {}
+    lines = [
+        f"cache dir: {store.root}",
+        f"  {'task':<12s} {'state':<8s} {'cache key':<14s} {'artifact':<14s}",
+    ]
+    for task in pipeline.topological_order():
+        if all(dep in digests for dep in task.deps):
+            key = task.cache_key(digests)
+            digest = store.lookup(key)
+            if digest is not None:
+                digests[task.name] = digest
+                state, key_text, digest_text = "cached", key[:12], digest[:12]
+            else:
+                state, key_text, digest_text = "missing", key[:12], "-"
+        else:
+            # An upstream miss means this task's inputs (hence its key)
+            # are unknown until the upstream body runs.
+            state, key_text, digest_text = "stale", "-", "-"
+        lines.append(f"  {task.name:<12s} {state:<8s} {key_text:<14s} {digest_text:<14s}")
+    cached = len(digests)
+    lines.append(f"  {cached}/{len(pipeline)} tasks cached for this configuration")
+    return "\n".join(lines)
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.pipeline import (
+        ARTEFACT_TASKS,
+        ArtifactStore,
+        PipelineError,
+        TaskFailure,
+        run_suite,
+        suite_pipeline,
+    )
+
+    if getattr(args, "jobs", 1) < 1:
+        print(f"repro pipeline: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
+    if args.pipeline_command == "clean":
+        removed = store.clear()
+        print(f"removed {removed} cache files from {store.root}")
+        return 0
+
+    config = None
+    if not args.corpus:
+        config = SynthConfig(n_users=args.users, seed=args.seed)
+    if args.pipeline_command == "status":
+        pipeline = suite_pipeline(config=config, corpus_path=args.corpus)
+        print(_pipeline_status_text(pipeline, store))
+        return 0
+
+    targets = tuple(args.targets) if args.targets else None
+    try:
+        suite, run = run_suite(
+            config=config,
+            corpus_path=args.corpus,
+            store=store,
+            jobs=args.jobs,
+            force=args.force,
+            targets=targets,
+        )
+    except TaskFailure as failure:
+        print(
+            f"pipeline failed at task '{failure.task_name}': {failure.cause!r}",
+            file=sys.stderr,
+        )
+        return 1
+    except PipelineError as error:
+        print(f"repro pipeline: {error}", file=sys.stderr)
+        return 2
+    if suite is not None:
+        print(suite.render())
+    else:
+        requested = set(targets or ARTEFACT_TASKS)
+        rendered = [
+            run.artifact(name).render()
+            for name in ARTEFACT_TASKS
+            if name in requested and name in run.digests
+        ]
+        if rendered:
+            rule = "\n" + "=" * 78 + "\n"
+            print(rule.join(rendered))
+    print(run.manifest.summary(), file=sys.stderr)
+    manifest_path = store.runs_dir / run.manifest.run_id / "manifest.json"
+    print(f"manifest: {manifest_path}", file=sys.stderr)
     return 0
 
 
@@ -332,6 +501,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "stats": _cmd_stats,
         "experiment": _cmd_experiment,
+        "pipeline": _cmd_pipeline,
         "epidemic": _cmd_epidemic,
         "groundtruth": _cmd_groundtruth,
         "validate": _cmd_validate,

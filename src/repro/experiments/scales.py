@@ -50,10 +50,10 @@ def default_scale_specs() -> tuple[ScaleSpec, ...]:
 class ExperimentContext:
     """A corpus plus lazily cached per-scale extraction products."""
 
-    def __init__(self, corpus: TweetCorpus) -> None:
+    def __init__(self, corpus: TweetCorpus, index: GridIndex | None = None) -> None:
         self.corpus = corpus
         self.specs = default_scale_specs()
-        self._index: GridIndex | None = None
+        self._index = index
         self._observations: dict[tuple[Scale, float], list[AreaObservation]] = {}
         self._labels: dict[tuple[Scale, float], "object"] = {}
         self._flows: dict[tuple[Scale, float], ODFlows] = {}

@@ -1,0 +1,267 @@
+"""Pipeline execution: cache-aware, optionally process-parallel.
+
+The executor walks the DAG in dependency order.  For each task it first
+derives the cache key from the task's params/version and the digests of
+its upstream artifacts; a key already bound in the store is a *hit* — the
+body never runs and only the digest propagates downstream.  Misses run
+either in the coordinating process (``jobs=1`` or ``run_in_parent``
+tasks) or in a :class:`~concurrent.futures.ProcessPoolExecutor` worker,
+which loads its inputs from the store by digest, runs the body, persists
+the output and hands the new digest back — artifacts always travel via
+the content-addressed store, never through the pickle channel twice.
+
+Every run writes a provenance manifest under ``<cache-dir>/runs/``.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.manifest import (
+    STATUS_FAILED,
+    STATUS_HIT,
+    STATUS_RUN,
+    RunManifest,
+    TaskRecord,
+)
+from repro.pipeline.store import ArtifactStore
+from repro.pipeline.task import Task, TaskContext, TaskFailure
+
+
+@dataclass
+class RunResult:
+    """Digests and provenance of one pipeline run."""
+
+    manifest: RunManifest
+    digests: dict[str, str]
+    store: ArtifactStore
+    _loaded: dict[str, Any] = field(default_factory=dict, repr=False)
+
+    def artifact(self, name: str) -> Any:
+        """Load the output artifact of task ``name`` (memoised)."""
+        digest = self.digests[name]
+        if digest not in self._loaded:
+            self._loaded[digest] = self.store.get(digest)
+        return self._loaded[digest]
+
+
+def _worker_execute(
+    store_root: str, task: Task, upstream: dict[str, str], key: str, jobs: int
+) -> tuple[str, float]:
+    """Run one task body inside a pool worker; returns (digest, seconds)."""
+    store = ArtifactStore(store_root)
+    inputs = {dep: store.get(digest) for dep, digest in upstream.items()}
+    ctx = TaskContext(params=task.params, inputs=inputs, jobs=jobs)
+    start = time.perf_counter()
+    output = task.fn(ctx)
+    seconds = time.perf_counter() - start
+    digest = store.put(output)
+    store.record_key(key, digest, {"task": task.name, "seconds": seconds})
+    return digest, seconds
+
+
+class Executor:
+    """Runs a :class:`Pipeline` against an :class:`ArtifactStore`.
+
+    Parameters
+    ----------
+    store:
+        The artifact store (defaults to the default cache directory).
+    jobs:
+        Maximum concurrently executing task bodies.  ``1`` means fully
+        serial in the current process.  The value is also passed to task
+        bodies via ``ctx.jobs`` so internally sharded tasks (corpus
+        generation) can size their own worker pools.
+    force:
+        Ignore existing cache entries and re-run every task body
+        (outputs are still written back to the store).
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore | None = None,
+        jobs: int = 1,
+        force: bool = False,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.store = store if store is not None else ArtifactStore()
+        self.jobs = jobs
+        self.force = force
+
+    def run(
+        self, pipeline: Pipeline, targets: Iterable[str] | None = None
+    ) -> RunResult:
+        """Execute (or cache-resolve) every task needed for ``targets``.
+
+        Raises :class:`TaskFailure` naming the first failing task; the
+        manifest (including the failure record) is written either way.
+        """
+        pipeline.validate()
+        order = pipeline.topological_order(targets)
+        manifest = RunManifest(
+            run_id=time.strftime("%Y%m%d-%H%M%S") + "-" + uuid.uuid4().hex[:8],
+            jobs=self.jobs,
+            cache_dir=str(self.store.root),
+            targets=sorted(pipeline.required(targets)),
+        )
+        digests: dict[str, str] = {}
+        loaded: dict[str, Any] = {}
+        started = time.perf_counter()
+        try:
+            if self.jobs == 1:
+                for task in order:
+                    self._resolve_serial(task, digests, loaded, manifest)
+            else:
+                self._run_parallel(order, digests, loaded, manifest)
+        finally:
+            manifest.total_seconds = time.perf_counter() - started
+            manifest.write(self.store.runs_dir / manifest.run_id)
+        return RunResult(
+            manifest=manifest, digests=digests, store=self.store, _loaded=loaded
+        )
+
+    # -- serial path ---------------------------------------------------
+
+    def _resolve_serial(
+        self,
+        task: Task,
+        digests: dict[str, str],
+        loaded: dict[str, Any],
+        manifest: RunManifest,
+    ) -> None:
+        key = task.cache_key(digests)
+        cached = None if self.force else self.store.lookup(key)
+        if cached is not None:
+            digests[task.name] = cached
+            manifest.record(
+                TaskRecord(task.name, STATUS_HIT, cache_key=key, digest=cached)
+            )
+            return
+        self._execute_in_parent(task, key, digests, loaded, manifest)
+
+    def _execute_in_parent(
+        self,
+        task: Task,
+        key: str,
+        digests: dict[str, str],
+        loaded: dict[str, Any],
+        manifest: RunManifest,
+    ) -> None:
+        inputs = {}
+        for dep in task.deps:
+            digest = digests[dep]
+            if digest not in loaded:
+                loaded[digest] = self.store.get(digest)
+            inputs[dep] = loaded[digest]
+        ctx = TaskContext(params=task.params, inputs=inputs, jobs=self.jobs)
+        start = time.perf_counter()
+        try:
+            output = task.fn(ctx)
+        except Exception as exc:
+            manifest.record(
+                TaskRecord(
+                    task.name,
+                    STATUS_FAILED,
+                    cache_key=key,
+                    seconds=time.perf_counter() - start,
+                    error=repr(exc),
+                )
+            )
+            raise TaskFailure(task.name, exc) from exc
+        seconds = time.perf_counter() - start
+        digest = self.store.put(output)
+        loaded[digest] = output
+        self.store.record_key(key, digest, {"task": task.name, "seconds": seconds})
+        digests[task.name] = digest
+        manifest.record(
+            TaskRecord(
+                task.name, STATUS_RUN, cache_key=key, digest=digest, seconds=seconds
+            )
+        )
+
+    # -- parallel path -------------------------------------------------
+
+    def _run_parallel(
+        self,
+        order: list[Task],
+        digests: dict[str, str],
+        loaded: dict[str, Any],
+        manifest: RunManifest,
+    ) -> None:
+        pending = {task.name: task for task in order}
+        running: dict[Any, tuple[Task, str]] = {}
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            while pending or running:
+                # Launch (or cache-resolve) every task whose deps are done.
+                progressed = True
+                while progressed:
+                    progressed = False
+                    for name in list(pending):
+                        task = pending[name]
+                        if not all(dep in digests for dep in task.deps):
+                            continue
+                        del pending[name]
+                        progressed = True
+                        key = task.cache_key(digests)
+                        cached = None if self.force else self.store.lookup(key)
+                        if cached is not None:
+                            digests[name] = cached
+                            manifest.record(
+                                TaskRecord(
+                                    name, STATUS_HIT, cache_key=key, digest=cached
+                                )
+                            )
+                        elif task.run_in_parent:
+                            # Tasks that shard internally own the worker
+                            # budget while they run in the parent.
+                            self._execute_in_parent(
+                                task, key, digests, loaded, manifest
+                            )
+                        else:
+                            upstream = {dep: digests[dep] for dep in task.deps}
+                            future = pool.submit(
+                                _worker_execute,
+                                str(self.store.root),
+                                task,
+                                upstream,
+                                key,
+                                self.jobs,
+                            )
+                            running[future] = (task, key)
+                if not running:
+                    continue
+                done, _ = wait(set(running), return_when=FIRST_COMPLETED)
+                for future in done:
+                    task, key = running.pop(future)
+                    try:
+                        digest, seconds = future.result()
+                    except Exception as exc:
+                        manifest.record(
+                            TaskRecord(
+                                task.name,
+                                STATUS_FAILED,
+                                cache_key=key,
+                                where="worker",
+                                error=repr(exc),
+                            )
+                        )
+                        for other in running:
+                            other.cancel()
+                        raise TaskFailure(task.name, exc) from exc
+                    digests[task.name] = digest
+                    manifest.record(
+                        TaskRecord(
+                            task.name,
+                            STATUS_RUN,
+                            cache_key=key,
+                            digest=digest,
+                            seconds=seconds,
+                            where="worker",
+                        )
+                    )

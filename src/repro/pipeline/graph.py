@@ -1,0 +1,120 @@
+"""The pipeline DAG: task registry, validation, topological order.
+
+:class:`Pipeline` is a plain container of :class:`~repro.pipeline.task.Task`
+nodes with the graph algebra the executor needs: dependency validation,
+cycle detection, deterministic topological ordering and target-restricted
+subgraphs (``repro pipeline run --targets fig3`` only needs the ancestors
+of ``fig3``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.pipeline.task import PipelineError, Task
+
+
+class CycleError(PipelineError):
+    """The task graph contains a dependency cycle."""
+
+    def __init__(self, cycle: list[str]) -> None:
+        super().__init__("dependency cycle: " + " -> ".join(cycle))
+        self.cycle = cycle
+
+
+class Pipeline:
+    """An immutable-after-build registry of DAG tasks."""
+
+    def __init__(self, tasks: Iterable[Task] = ()) -> None:
+        self._tasks: dict[str, Task] = {}
+        for task in tasks:
+            self.add(task)
+
+    def add(self, task: Task) -> Task:
+        """Register a task; names must be unique."""
+        if task.name in self._tasks:
+            raise PipelineError(f"duplicate task name {task.name!r}")
+        self._tasks[task.name] = task
+        return task
+
+    def task(self, name: str) -> Task:
+        """Look up one task by name."""
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise PipelineError(f"unknown task {name!r}") from None
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Task names in registration order."""
+        return tuple(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tasks
+
+    # -- graph algebra -------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise unless every dependency exists and the graph is acyclic."""
+        for task in self:
+            for dep in task.deps:
+                if dep not in self._tasks:
+                    raise PipelineError(
+                        f"task {task.name!r} depends on unknown task {dep!r}"
+                    )
+        self.topological_order()
+
+    def required(self, targets: Iterable[str] | None = None) -> set[str]:
+        """Names of the targets plus all their transitive dependencies."""
+        if targets is None:
+            return set(self._tasks)
+        needed: set[str] = set()
+        stack = [self.task(name).name for name in targets]
+        while stack:
+            name = stack.pop()
+            if name in needed:
+                continue
+            needed.add(name)
+            stack.extend(self._tasks[name].deps)
+        return needed
+
+    def topological_order(self, targets: Iterable[str] | None = None) -> list[Task]:
+        """Dependency-respecting task order, restricted to ``targets``.
+
+        Deterministic: among simultaneously ready tasks, registration
+        order wins (Kahn's algorithm with an ordered ready list).
+        """
+        needed = self.required(targets)
+        remaining_deps = {
+            name: {d for d in self._tasks[name].deps if d in needed}
+            for name in self._tasks
+            if name in needed
+        }
+        order: list[Task] = []
+        while remaining_deps:
+            ready = [name for name, deps in remaining_deps.items() if not deps]
+            if not ready:
+                raise CycleError(self._find_cycle(remaining_deps))
+            for name in ready:
+                order.append(self._tasks[name])
+                del remaining_deps[name]
+            for deps in remaining_deps.values():
+                deps.difference_update(ready)
+        return order
+
+    @staticmethod
+    def _find_cycle(remaining_deps: dict[str, set[str]]) -> list[str]:
+        """One concrete cycle among the stuck tasks, for the error message."""
+        start = next(iter(remaining_deps))
+        seen: list[str] = []
+        node = start
+        while node not in seen:
+            seen.append(node)
+            node = next(iter(remaining_deps[node]))
+        return seen[seen.index(node) :] + [node]

@@ -1,0 +1,203 @@
+"""The paper's artefact suite expressed as a pipeline graph.
+
+The DAG mirrors the data flow of ``run_all_experiments``::
+
+    corpus ──┬── table1
+             ├── fig1
+             ├── fig2
+             └── index ──┬── fig3
+                         └── fig4 ── table2
+
+``corpus`` either synthesises (sharded across ``ctx.jobs`` workers,
+bit-identical to serial) or loads a CSV, keyed by the file's content
+hash.  Downstream tasks are keyed by the corpus artifact digest, so
+editing only e.g. the Table II scoring re-executes exactly one node on
+the next run — everything else is served from the artifact store.
+
+Each task carries a code-version tag in :data:`TASK_VERSIONS`; bump a
+tag when the corresponding experiment implementation changes meaning,
+and stale cached artifacts invalidate automatically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.data.corpus import TweetCorpus
+from repro.data.io import read_tweets_csv
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.runner import ExperimentSuiteResult
+from repro.experiments.scales import ExperimentContext
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import table2_from_fig4
+from repro.geo.index import GridIndex
+from repro.pipeline.executor import Executor, RunResult
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.hashing import hash_file
+from repro.pipeline.store import ArtifactStore
+from repro.pipeline.task import Task, TaskContext
+from repro.synth.config import SynthConfig
+from repro.synth.generator import generate_corpus
+
+#: Names of the artefact-producing tasks, in paper order.
+ARTEFACT_TASKS = ("table1", "fig1", "fig2", "fig3", "fig4", "table2")
+
+#: Per-task code-version tags.  Bump one to invalidate that task's
+#: cached outputs (and, transitively, its dependents) without touching
+#: anything upstream.
+TASK_VERSIONS = {
+    "corpus": "1",
+    "index": "1",
+    "table1": "1",
+    "fig1": "1",
+    "fig2": "1",
+    "fig3": "1",
+    "fig4": "1",
+    "table2": "1",
+}
+
+
+def _task_generate(ctx: TaskContext) -> TweetCorpus:
+    config = SynthConfig(**ctx.params)
+    return generate_corpus(config, jobs=ctx.jobs).corpus
+
+
+def _task_load_corpus(ctx: TaskContext) -> TweetCorpus:
+    return TweetCorpus.from_tweets(read_tweets_csv(ctx.params["path"]))
+
+
+def _task_index(ctx: TaskContext) -> GridIndex:
+    corpus = ctx.input("corpus")
+    return GridIndex(corpus.lats, corpus.lons)
+
+
+def _context(ctx: TaskContext) -> ExperimentContext:
+    return ExperimentContext(ctx.input("corpus"), index=ctx.input("index"))
+
+
+def _task_table1(ctx: TaskContext):
+    return run_table1(ctx.input("corpus"))
+
+
+def _task_fig1(ctx: TaskContext):
+    return run_fig1(ctx.input("corpus"))
+
+
+def _task_fig2(ctx: TaskContext):
+    return run_fig2(ctx.input("corpus"))
+
+
+def _task_fig3(ctx: TaskContext):
+    return run_fig3(_context(ctx))
+
+
+def _task_fig4(ctx: TaskContext):
+    return run_fig4(_context(ctx))
+
+
+def _task_table2(ctx: TaskContext):
+    return table2_from_fig4(ctx.input("fig4"))
+
+
+def suite_pipeline(
+    config: SynthConfig | None = None, corpus_path: str | None = None
+) -> Pipeline:
+    """The experiment-suite DAG over a synthesised or on-disk corpus.
+
+    Exactly one corpus source applies: ``corpus_path`` (cache-keyed by
+    the file's content hash, so an edited file is a miss) wins over
+    ``config`` (cache-keyed by every :class:`SynthConfig` field).
+    """
+    if corpus_path is not None:
+        corpus_task = Task(
+            name="corpus",
+            fn=_task_load_corpus,
+            params={"path": str(corpus_path), "content": hash_file(corpus_path)},
+            version=TASK_VERSIONS["corpus"],
+        )
+    else:
+        config = config or SynthConfig()
+        corpus_task = Task(
+            name="corpus",
+            fn=_task_generate,
+            params=dataclasses.asdict(config),
+            version=TASK_VERSIONS["corpus"],
+            # Generation shards across its own worker pool (ctx.jobs).
+            run_in_parent=True,
+        )
+    pipeline = Pipeline([corpus_task])
+    pipeline.add(
+        Task(
+            name="index",
+            fn=_task_index,
+            deps=("corpus",),
+            version=TASK_VERSIONS["index"],
+        )
+    )
+    simple = {"table1": _task_table1, "fig1": _task_fig1, "fig2": _task_fig2}
+    for name, fn in simple.items():
+        pipeline.add(
+            Task(name=name, fn=fn, deps=("corpus",), version=TASK_VERSIONS[name])
+        )
+    pipeline.add(
+        Task(
+            name="fig3",
+            fn=_task_fig3,
+            deps=("corpus", "index"),
+            version=TASK_VERSIONS["fig3"],
+        )
+    )
+    pipeline.add(
+        Task(
+            name="fig4",
+            fn=_task_fig4,
+            deps=("corpus", "index"),
+            version=TASK_VERSIONS["fig4"],
+        )
+    )
+    pipeline.add(
+        Task(
+            name="table2",
+            fn=_task_table2,
+            deps=("fig4",),
+            version=TASK_VERSIONS["table2"],
+        )
+    )
+    pipeline.validate()
+    return pipeline
+
+
+def suite_result(run: RunResult) -> ExperimentSuiteResult:
+    """Assemble the classic suite result from a run's artifacts."""
+    return ExperimentSuiteResult(
+        table1=run.artifact("table1"),
+        fig1=run.artifact("fig1"),
+        fig2=run.artifact("fig2"),
+        fig3=run.artifact("fig3"),
+        fig4=run.artifact("fig4"),
+        table2=run.artifact("table2"),
+    )
+
+
+def run_suite(
+    config: SynthConfig | None = None,
+    corpus_path: str | None = None,
+    store: ArtifactStore | None = None,
+    jobs: int = 1,
+    force: bool = False,
+    targets: tuple[str, ...] | None = None,
+) -> tuple[ExperimentSuiteResult | None, RunResult]:
+    """Run (or cache-resolve) the suite; returns (suite, run provenance).
+
+    The first element is ``None`` when ``targets`` excludes part of the
+    suite — use :meth:`RunResult.artifact` for partial runs.
+    """
+    pipeline = suite_pipeline(config=config, corpus_path=corpus_path)
+    executor = Executor(store=store, jobs=jobs, force=force)
+    run = executor.run(pipeline, targets=targets)
+    if targets is not None and set(ARTEFACT_TASKS) - run.digests.keys():
+        return None, run
+    return suite_result(run), run

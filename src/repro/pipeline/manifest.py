@@ -1,0 +1,107 @@
+"""Run provenance: what executed, what was cached, how long it took.
+
+Every executor run writes a ``manifest.json`` under
+``<cache-dir>/runs/<run-id>/`` recording, per task, whether the body ran
+or the cache served it, the cache key and artifact digest involved, and
+wall-clock seconds.  Manifests are the audit trail for the caching
+guarantees: a warm re-run of an unchanged config shows every task as a
+``hit`` with zero executed bodies.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+#: Task record statuses.
+STATUS_RUN = "run"
+STATUS_HIT = "hit"
+STATUS_FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Provenance of one task within one run."""
+
+    name: str
+    status: str
+    cache_key: str = ""
+    digest: str = ""
+    seconds: float = 0.0
+    where: str = "parent"
+    error: str | None = None
+
+
+@dataclass
+class RunManifest:
+    """Provenance of one executor run."""
+
+    run_id: str
+    jobs: int
+    cache_dir: str
+    targets: list[str] = field(default_factory=list)
+    total_seconds: float = 0.0
+    records: list[TaskRecord] = field(default_factory=list)
+
+    def record(self, record: TaskRecord) -> None:
+        """Append one task record."""
+        self.records.append(record)
+
+    @property
+    def hits(self) -> int:
+        """How many tasks were served from cache."""
+        return sum(1 for r in self.records if r.status == STATUS_HIT)
+
+    @property
+    def executed(self) -> int:
+        """How many task bodies actually ran."""
+        return sum(1 for r in self.records if r.status == STATUS_RUN)
+
+    @property
+    def failed(self) -> str | None:
+        """The name of the failed task, if any."""
+        for record in self.records:
+            if record.status == STATUS_FAILED:
+                return record.name
+        return None
+
+    def to_dict(self) -> dict:
+        """Plain-data form, ready for ``json.dump``."""
+        return {
+            "run_id": self.run_id,
+            "jobs": self.jobs,
+            "cache_dir": self.cache_dir,
+            "targets": list(self.targets),
+            "total_seconds": self.total_seconds,
+            "hits": self.hits,
+            "executed": self.executed,
+            "records": [asdict(r) for r in self.records],
+        }
+
+    def write(self, directory: str | Path) -> Path:
+        """Write ``manifest.json`` into ``directory``; returns its path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / "manifest.json"
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        return path
+
+    def summary(self) -> str:
+        """One human line per task plus a totals footer."""
+        lines = []
+        for record in self.records:
+            mark = {STATUS_HIT: "cached", STATUS_RUN: "ran", STATUS_FAILED: "FAILED"}[
+                record.status
+            ]
+            lines.append(
+                f"  {record.name:<12s} {mark:<7s} {record.seconds:7.2f}s"
+                f"  key={record.cache_key[:12]}  out={record.digest[:12]}"
+            )
+        lines.append(
+            f"  total {self.total_seconds:.2f}s — {self.executed} executed, "
+            f"{self.hits} cache hits (jobs={self.jobs})"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Task definitions for the experiment pipeline.
+
+A :class:`Task` is a named, pure unit of work: it reads the outputs of
+its declared dependencies, runs a top-level function and returns one
+artifact.  The executor decides whether the body actually runs — a task
+whose cache key (config fingerprint + upstream digests + code version)
+is already bound in the store is skipped entirely.
+
+``fn`` must be a module-level callable so tasks can cross process
+boundaries under the parallel executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.pipeline.hashing import fingerprint, hash_bytes
+
+
+class PipelineError(Exception):
+    """Base error for pipeline construction and execution problems."""
+
+
+class TaskFailure(PipelineError):
+    """A task body raised; carries the failing task's name."""
+
+    def __init__(self, task_name: str, cause: BaseException) -> None:
+        super().__init__(f"task {task_name!r} failed: {cause!r}")
+        self.task_name = task_name
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class Task:
+    """One node of the pipeline DAG.
+
+    Attributes
+    ----------
+    name:
+        Unique node name within a pipeline.
+    fn:
+        Module-level callable ``fn(ctx: TaskContext) -> artifact``.
+    deps:
+        Names of upstream tasks whose outputs this task reads.
+    params:
+        Configuration hashed into the cache key (any canonicalizable
+        value — dataclasses, dicts, numbers).  Also available to the
+        body as ``ctx.params``.
+    version:
+        Code-version tag.  Bump it when the task's implementation
+        changes meaning, to invalidate previously cached outputs.
+    run_in_parent:
+        Always execute in the coordinating process, even under a
+        parallel executor.  Used by tasks that manage their own worker
+        pool (sharded corpus generation).
+    """
+
+    name: str
+    fn: Callable[["TaskContext"], Any]
+    deps: tuple[str, ...] = ()
+    params: Any = None
+    version: str = "1"
+    run_in_parent: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PipelineError("task name must be non-empty")
+        if len(set(self.deps)) != len(self.deps):
+            raise PipelineError(f"task {self.name!r} lists a duplicate dependency")
+
+    def cache_key(self, upstream_digests: Mapping[str, str]) -> str:
+        """The content-addressed cache key of this task's output.
+
+        Combines the task identity, its code version, the fingerprint of
+        its params and the digest of every upstream artifact, so any
+        change in configuration or inputs (transitively, in upstream
+        code versions) yields a fresh key.
+        """
+        missing = [dep for dep in self.deps if dep not in upstream_digests]
+        if missing:
+            raise PipelineError(
+                f"task {self.name!r} cache key needs upstream digests for {missing}"
+            )
+        payload = "\x1f".join(
+            [
+                "task",
+                self.name,
+                "v" + self.version,
+                fingerprint(self.params),
+            ]
+            + [f"{dep}={upstream_digests[dep]}" for dep in sorted(self.deps)]
+        )
+        return hash_bytes(payload.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class TaskContext:
+    """What a task body sees: its params, its inputs, the jobs knob."""
+
+    params: Any = None
+    inputs: Mapping[str, Any] = field(default_factory=dict)
+    jobs: int = 1
+
+    def input(self, name: str) -> Any:
+        """The artifact produced by upstream task ``name``."""
+        try:
+            return self.inputs[name]
+        except KeyError:
+            raise PipelineError(
+                f"task requested input {name!r} but only {sorted(self.inputs)} "
+                "were provided — declare the dependency in Task.deps"
+            ) from None

@@ -2,9 +2,16 @@
 
 Orchestrates the world model, the heavy-tailed samplers and the travel
 process into a full geo-tagged tweet corpus.  Generation is deterministic
-given ``SynthConfig.seed``: the root RNG is split into independent child
-streams for world building, adoption weights and the main per-user loop,
-so changing one stage never perturbs the others.
+given ``SynthConfig.seed``: the root RNG seed-sequence is split into
+independent child streams for world building, adoption weights, the
+corpus-level draws (home sites, tweet counts) and *one stream per user*
+for the per-user loop, so changing one stage never perturbs the others.
+
+Because every user owns an independent child stream, the per-user loop is
+embarrassingly parallel: ``generate(jobs=N)`` splits the user range into
+N tweet-balanced shards, fills each in a separate process and
+concatenates the results in user order — the output is **bit-identical**
+to a serial run with the same seed, regardless of the shard count.
 
 Per user the pipeline is:
 
@@ -19,6 +26,7 @@ Per user the pipeline is:
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
 
@@ -70,6 +78,67 @@ class GenerationResult:
             object.__setattr__(self, "bot_users", np.empty(0, dtype=np.int64))
 
 
+@dataclass(frozen=True)
+class _GenerationPlan:
+    """The deterministic corpus-level draws shared by every shard.
+
+    Rebuilt identically in each worker from the config alone: the world,
+    the home weights, each user's home and tweet count all come from the
+    first three child streams of the root seed, independent of the
+    per-user streams consumed by the fill loop.
+    """
+
+    world: World
+    weights: np.ndarray
+    kernel: TripKernel
+    homes: np.ndarray
+    counts: np.ndarray
+    first_bot: int
+    users_ss: np.random.SeedSequence
+
+
+def _user_stream(users_ss: np.random.SeedSequence, user: int) -> np.random.Generator:
+    """User ``user``'s private RNG: spawn child ``user`` of the users root.
+
+    Constructing the child seed-sequence directly (rather than calling
+    ``users_ss.spawn(n)``) lets a shard materialise exactly the streams
+    of its own user range; the result is identical to what ``spawn``
+    would hand out, because spawned children are keyed only by index.
+    """
+    child = np.random.SeedSequence(
+        entropy=users_ss.entropy, spawn_key=users_ss.spawn_key + (user,)
+    )
+    return np.random.default_rng(child)
+
+
+def _shard_bounds(counts: np.ndarray, jobs: int) -> list[tuple[int, int]]:
+    """Split the user range into ≤ ``jobs`` contiguous, tweet-balanced shards."""
+    n_users = int(counts.size)
+    jobs = max(1, min(jobs, n_users))
+    cumulative = np.cumsum(counts, dtype=np.float64)
+    total = float(cumulative[-1])
+    bounds: list[tuple[int, int]] = []
+    lo = 0
+    for j in range(1, jobs + 1):
+        if j == jobs:
+            hi = n_users
+        else:
+            hi = int(np.searchsorted(cumulative, total * j / jobs, side="left")) + 1
+            hi = min(max(hi, lo + 1), n_users)
+        if hi > lo:
+            bounds.append((lo, hi))
+            lo = hi
+    return bounds
+
+
+def _generate_shard(
+    config: SynthConfig, lo: int, hi: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Worker entry point: fill users ``[lo, hi)`` from a fresh plan."""
+    generator = SyntheticCorpusGenerator(config)
+    return generator._fill_range(generator._plan(), lo, hi)
+
+
 class SyntheticCorpusGenerator:
     """Reusable generator bound to one :class:`SynthConfig`."""
 
@@ -82,21 +151,14 @@ class SyntheticCorpusGenerator:
             alpha=config.wait_alpha, x_min=config.wait_min_s, x_max=config.wait_max_s
         )
 
-    def generate(
-        self, progress: Callable[[int, int], None] | None = None
-    ) -> GenerationResult:
-        """Run the full pipeline and return the corpus plus ground truth.
-
-        ``progress`` (optional) is called as ``progress(done_users,
-        total_users)`` every few thousand users.
-        """
+    def _plan(self) -> _GenerationPlan:
+        """The corpus-level draws, identical however the fill is sharded."""
         config = self.config
-        root = np.random.default_rng(config.seed)
-        world_rng, weights_rng, main_rng = root.spawn(3)
-
-        world = build_world(config, world_rng)
-        weights = home_site_weights(world, config, weights_rng)
-        kernel = TripKernel(world, config)
+        root_ss = np.random.SeedSequence(config.seed)
+        world_ss, weights_ss, main_ss, users_ss = root_ss.spawn(4)
+        world = build_world(config, np.random.default_rng(world_ss))
+        weights = home_site_weights(world, config, np.random.default_rng(weights_ss))
+        main_rng = np.random.default_rng(main_ss)
 
         n_users = config.n_users
         homes = main_rng.choice(len(world), size=n_users, p=weights)
@@ -108,46 +170,48 @@ class SyntheticCorpusGenerator:
             counts[first_bot:] = main_rng.integers(
                 config.bot_min_tweets, config.bot_max_tweets + 1, n_bots
             )
-        total_tweets = int(counts.sum())
+        return _GenerationPlan(
+            world=world,
+            weights=weights,
+            kernel=TripKernel(world, config),
+            homes=homes,
+            counts=counts,
+            first_bot=first_bot,
+            users_ss=users_ss,
+        )
 
-        user_col = np.empty(total_tweets, dtype=np.int64)
-        ts_col = np.empty(total_tweets, dtype=np.float64)
-        lat_col = np.empty(total_tweets, dtype=np.float64)
-        lon_col = np.empty(total_tweets, dtype=np.float64)
-        site_col = np.empty(total_tweets, dtype=np.int64)
+    def generate(
+        self,
+        progress: Callable[[int, int], None] | None = None,
+        jobs: int = 1,
+    ) -> GenerationResult:
+        """Run the full pipeline and return the corpus plus ground truth.
 
-        window = config.end_ts - config.start_ts
-        favorites = FavoritePointStore(config)
-        cursor = 0
-        for user in range(n_users):
-            k = int(counts[user])
-            home = int(homes[user])
-            sl = slice(cursor, cursor + k)
-            user_col[sl] = user
-            if user >= first_bot:
-                # Bots: uniform-rate posting from one exact point at home.
-                ts_col[sl] = main_rng.uniform(0.0, window, k)
-                site_col[sl] = home
-                point = scatter_point(world.sites[home], main_rng)
-                lat_col[sl] = point.lat
-                lon_col[sl] = point.lon
-            else:
-                ts_col[sl] = self._user_timestamps(k, window, main_rng)
-                site_seq = self._user_site_sequence(k, home, kernel, main_rng)
-                site_col[sl] = site_seq
-                favorites.reset_user()
-                for j in range(k):
-                    site_index = int(site_seq[j])
-                    lat, lon = favorites.point_for_tweet(
-                        site_index, world.sites[site_index], main_rng
-                    )
-                    lat_col[cursor + j] = lat
-                    lon_col[cursor + j] = lon
-            cursor += k
-            if progress is not None and (user + 1) % 5000 == 0:
-                progress(user + 1, n_users)
+        ``progress`` (optional) is called as ``progress(done_users,
+        total_users)`` every few thousand users (serial path only).
 
-        ts_col += config.start_ts
+        ``jobs`` > 1 shards the per-user loop across that many worker
+        processes; the merged corpus is bit-identical to ``jobs=1``.
+        """
+        config = self.config
+        plan = self._plan()
+        n_users = config.n_users
+
+        if jobs <= 1 or n_users < 2:
+            columns = self._fill_range(plan, 0, n_users, progress)
+        else:
+            bounds = _shard_bounds(plan.counts, jobs)
+            with ProcessPoolExecutor(max_workers=len(bounds)) as pool:
+                futures = [
+                    pool.submit(_generate_shard, config, lo, hi) for lo, hi in bounds
+                ]
+                parts = [future.result() for future in futures]
+            columns = tuple(
+                np.concatenate([part[i] for part in parts]) for i in range(5)
+            )
+        user_col, ts_col, lat_col, lon_col, site_col = columns
+
+        ts_col = ts_col + config.start_ts
         if config.diurnal_amplitude > 0.0:
             pattern = DiurnalPattern(
                 amplitude=config.diurnal_amplitude, peak_hour=config.diurnal_peak_hour
@@ -155,6 +219,7 @@ class SyntheticCorpusGenerator:
             ts_col = pattern.warp_timestamps(ts_col, epoch=config.start_ts)
         # Sort by (user, time) once, keeping the site ground truth aligned.
         order = np.lexsort((ts_col, user_col))
+        total_tweets = user_col.size
         corpus = TweetCorpus(
             tweet_ids=np.arange(total_tweets, dtype=np.int64),
             user_ids=user_col[order],
@@ -165,13 +230,65 @@ class SyntheticCorpusGenerator:
         )
         return GenerationResult(
             corpus=corpus,
-            world=world,
-            home_sites=homes,
-            site_weights=weights,
+            world=plan.world,
+            home_sites=plan.homes,
+            site_weights=plan.weights,
             site_indices=site_col[order],
             config=config,
-            bot_users=np.arange(first_bot, n_users, dtype=np.int64),
+            bot_users=np.arange(plan.first_bot, n_users, dtype=np.int64),
         )
+
+    def _fill_range(
+        self,
+        plan: _GenerationPlan,
+        lo: int,
+        hi: int,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Fill users ``[lo, hi)``; timestamps are window offsets (no epoch)."""
+        config = self.config
+        world = plan.world
+        counts = plan.counts
+        total = int(counts[lo:hi].sum())
+
+        user_col = np.empty(total, dtype=np.int64)
+        ts_col = np.empty(total, dtype=np.float64)
+        lat_col = np.empty(total, dtype=np.float64)
+        lon_col = np.empty(total, dtype=np.float64)
+        site_col = np.empty(total, dtype=np.int64)
+
+        window = config.end_ts - config.start_ts
+        favorites = FavoritePointStore(config)
+        cursor = 0
+        for user in range(lo, hi):
+            rng = _user_stream(plan.users_ss, user)
+            k = int(counts[user])
+            home = int(plan.homes[user])
+            sl = slice(cursor, cursor + k)
+            user_col[sl] = user
+            if user >= plan.first_bot:
+                # Bots: uniform-rate posting from one exact point at home.
+                ts_col[sl] = rng.uniform(0.0, window, k)
+                site_col[sl] = home
+                point = scatter_point(world.sites[home], rng)
+                lat_col[sl] = point.lat
+                lon_col[sl] = point.lon
+            else:
+                ts_col[sl] = self._user_timestamps(k, window, rng)
+                site_seq = self._user_site_sequence(k, home, plan.kernel, rng)
+                site_col[sl] = site_seq
+                favorites.reset_user()
+                for j in range(k):
+                    site_index = int(site_seq[j])
+                    lat, lon = favorites.point_for_tweet(
+                        site_index, world.sites[site_index], rng
+                    )
+                    lat_col[cursor + j] = lat
+                    lon_col[cursor + j] = lon
+            cursor += k
+            if progress is not None and (user + 1) % 5000 == 0:
+                progress(user + 1, config.n_users)
+        return user_col, ts_col, lat_col, lon_col, site_col
 
     def _user_timestamps(
         self, k: int, window: float, rng: np.random.Generator
@@ -222,6 +339,13 @@ class SyntheticCorpusGenerator:
 def generate_corpus(
     config: SynthConfig | None = None,
     progress: Callable[[int, int], None] | None = None,
+    jobs: int = 1,
 ) -> GenerationResult:
-    """One-call convenience wrapper around :class:`SyntheticCorpusGenerator`."""
-    return SyntheticCorpusGenerator(config or SynthConfig()).generate(progress=progress)
+    """One-call convenience wrapper around :class:`SyntheticCorpusGenerator`.
+
+    ``jobs`` > 1 shards the per-user loop across processes; the result is
+    bit-identical to the serial run for the same config.
+    """
+    return SyntheticCorpusGenerator(config or SynthConfig()).generate(
+        progress=progress, jobs=jobs
+    )

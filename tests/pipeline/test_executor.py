@@ -1,0 +1,198 @@
+"""Tests for repro.pipeline.executor: caching, invalidation, parallelism.
+
+Task bodies log to a file passed via params, so "did the body run?" is
+observable across processes: a cache hit leaves the log untouched.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.pipeline.executor import Executor, RunResult
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.store import ArtifactStore
+from repro.pipeline.task import Task, TaskContext, TaskFailure
+
+
+def _log(ctx: TaskContext, name: str) -> None:
+    with open(ctx.params["log"], "a", encoding="utf-8") as handle:
+        handle.write(name + "\n")
+
+
+def _source(ctx: TaskContext):
+    _log(ctx, "source")
+    return ctx.params["value"]
+
+
+def _double(ctx: TaskContext):
+    _log(ctx, "double")
+    return 2 * ctx.input("source")
+
+
+def _add_ten(ctx: TaskContext):
+    _log(ctx, "add_ten")
+    return ctx.input("source") + 10
+
+
+def _merge(ctx: TaskContext):
+    _log(ctx, "merge")
+    return ctx.input("double") + ctx.input("add_ten")
+
+
+def _boom(ctx: TaskContext):
+    raise RuntimeError("kapow")
+
+
+def _pid(ctx: TaskContext):
+    return os.getpid()
+
+
+def _diamond(log_path, value=3, versions=None) -> Pipeline:
+    versions = versions or {}
+    params = {"log": str(log_path), "value": value}
+    aux = {"log": str(log_path)}
+    return Pipeline(
+        [
+            Task("source", _source, params=params, version=versions.get("source", "1")),
+            Task("double", _double, deps=("source",), params=aux,
+                 version=versions.get("double", "1")),
+            Task("add_ten", _add_ten, deps=("source",), params=aux,
+                 version=versions.get("add_ten", "1")),
+            Task("merge", _merge, deps=("double", "add_ten"), params=aux,
+                 version=versions.get("merge", "1")),
+        ]
+    )
+
+
+def _ran(log_path) -> list[str]:
+    if not log_path.exists():
+        return []
+    return log_path.read_text().splitlines()
+
+
+class TestSerialExecution:
+    def test_diamond_result(self, tmp_path):
+        log = tmp_path / "log"
+        run = Executor(ArtifactStore(tmp_path / "cache")).run(_diamond(log))
+        assert run.artifact("merge") == 2 * 3 + 3 + 10
+        assert sorted(_ran(log)) == ["add_ten", "double", "merge", "source"]
+
+    def test_warm_run_executes_nothing(self, tmp_path):
+        log = tmp_path / "log"
+        store = ArtifactStore(tmp_path / "cache")
+        Executor(store).run(_diamond(log))
+        first = _ran(log)
+        run = Executor(store).run(_diamond(log))
+        assert _ran(log) == first  # no new body executions
+        assert run.manifest.executed == 0
+        assert run.manifest.hits == 4
+        assert run.artifact("merge") == 19
+
+    def test_param_change_invalidates_downstream_only(self, tmp_path):
+        log = tmp_path / "log"
+        store = ArtifactStore(tmp_path / "cache")
+        Executor(store).run(_diamond(log, value=3))
+        log.unlink()
+        run = Executor(store).run(_diamond(log, value=4))
+        # source params changed -> its digest changes -> everything reruns.
+        assert run.manifest.executed == 4
+        assert run.artifact("merge") == 2 * 4 + 4 + 10
+
+    def test_version_bump_invalidates_one_subgraph(self, tmp_path):
+        log = tmp_path / "log"
+        store = ArtifactStore(tmp_path / "cache")
+        Executor(store).run(_diamond(log))
+        log.unlink()
+        run = Executor(store).run(_diamond(log, versions={"double": "2"}))
+        # Only double (new code version) reruns.  Because its rerun
+        # produced byte-identical output, merge's key — a function of
+        # upstream *digests*, not upstream keys — is unchanged and merge
+        # stays cached: content-addressing gives early cutoff for free.
+        assert _ran(log) == ["double"]
+        assert run.manifest.hits == 3
+        assert run.manifest.executed == 1
+
+    def test_force_reruns_everything(self, tmp_path):
+        log = tmp_path / "log"
+        store = ArtifactStore(tmp_path / "cache")
+        Executor(store).run(_diamond(log))
+        log.unlink()
+        run = Executor(store, force=True).run(_diamond(log))
+        assert run.manifest.executed == 4
+        assert len(_ran(log)) == 4
+
+    def test_targets_run_only_ancestors(self, tmp_path):
+        log = tmp_path / "log"
+        run = Executor(ArtifactStore(tmp_path / "cache")).run(
+            _diamond(log), targets=["double"]
+        )
+        assert sorted(_ran(log)) == ["double", "source"]
+        assert "merge" not in run.digests
+
+    def test_failure_names_task_and_writes_manifest(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        pipeline = Pipeline([Task("bad", _boom)])
+        with pytest.raises(TaskFailure, match="'bad' failed") as excinfo:
+            Executor(store).run(pipeline)
+        assert excinfo.value.task_name == "bad"
+        manifests = list(store.runs_dir.rglob("manifest.json"))
+        assert len(manifests) == 1
+        payload = json.loads(manifests[0].read_text())
+        assert payload["records"][0]["status"] == "failed"
+        assert "kapow" in payload["records"][0]["error"]
+
+    def test_manifest_written_per_run(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        log = tmp_path / "log"
+        Executor(store).run(_diamond(log))
+        Executor(store).run(_diamond(log))
+        assert len(list(store.runs_dir.rglob("manifest.json"))) == 2
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            Executor(jobs=0)
+
+
+class TestParallelExecution:
+    def test_parallel_matches_serial(self, tmp_path):
+        log = tmp_path / "log"
+        serial = Executor(ArtifactStore(tmp_path / "a")).run(_diamond(log))
+        parallel = Executor(ArtifactStore(tmp_path / "b"), jobs=2).run(_diamond(log))
+        assert parallel.artifact("merge") == serial.artifact("merge")
+        assert parallel.digests == serial.digests
+
+    def test_parallel_warm_run_executes_nothing(self, tmp_path):
+        log = tmp_path / "log"
+        store = ArtifactStore(tmp_path / "cache")
+        Executor(store, jobs=2).run(_diamond(log))
+        baseline = _ran(log)
+        run = Executor(store, jobs=2).run(_diamond(log))
+        assert _ran(log) == baseline
+        assert run.manifest.executed == 0
+
+    def test_parallel_failure_names_task(self, tmp_path):
+        pipeline = Pipeline(
+            [Task("ok", _pid), Task("bad", _boom, deps=("ok",))]
+        )
+        with pytest.raises(TaskFailure) as excinfo:
+            Executor(ArtifactStore(tmp_path / "cache"), jobs=2).run(pipeline)
+        assert excinfo.value.task_name == "bad"
+
+    def test_run_in_parent_stays_in_parent(self, tmp_path):
+        pipeline = Pipeline([Task("who", _pid, run_in_parent=True)])
+        run = Executor(ArtifactStore(tmp_path / "cache"), jobs=2).run(pipeline)
+        assert run.artifact("who") == os.getpid()
+
+    def test_worker_tasks_leave_parent(self, tmp_path):
+        pipeline = Pipeline([Task("who", _pid)])
+        run = Executor(ArtifactStore(tmp_path / "cache"), jobs=2).run(pipeline)
+        assert run.artifact("who") != os.getpid()
+
+
+class TestRunResult:
+    def test_artifact_memoised(self, tmp_path):
+        log = tmp_path / "log"
+        run = Executor(ArtifactStore(tmp_path / "cache")).run(_diamond(log))
+        assert run.artifact("merge") is run.artifact("merge")
+        assert isinstance(run, RunResult)

@@ -1,0 +1,97 @@
+"""Tests for repro.pipeline.graph."""
+
+import pytest
+
+from repro.pipeline.graph import CycleError, Pipeline
+from repro.pipeline.task import PipelineError, Task, TaskContext
+
+
+def _noop(ctx: TaskContext):
+    return None
+
+
+def _make(name: str, deps: tuple[str, ...] = ()) -> Task:
+    return Task(name=name, fn=_noop, deps=deps)
+
+
+class TestPipelineConstruction:
+    def test_duplicate_name_rejected(self):
+        pipeline = Pipeline([_make("a")])
+        with pytest.raises(PipelineError, match="duplicate"):
+            pipeline.add(_make("a"))
+
+    def test_unknown_dep_rejected_by_validate(self):
+        pipeline = Pipeline([_make("a", deps=("ghost",))])
+        with pytest.raises(PipelineError, match="unknown task 'ghost'"):
+            pipeline.validate()
+
+    def test_duplicate_dependency_rejected(self):
+        with pytest.raises(PipelineError, match="duplicate dependency"):
+            Task(name="a", fn=_noop, deps=("b", "b"))
+
+    def test_contains_and_len(self):
+        pipeline = Pipeline([_make("a"), _make("b", deps=("a",))])
+        assert "a" in pipeline and "c" not in pipeline
+        assert len(pipeline) == 2
+
+
+class TestTopologicalOrder:
+    def test_diamond_order(self):
+        pipeline = Pipeline(
+            [
+                _make("d", deps=("b", "c")),
+                _make("b", deps=("a",)),
+                _make("c", deps=("a",)),
+                _make("a"),
+            ]
+        )
+        names = [t.name for t in pipeline.topological_order()]
+        assert names.index("a") < names.index("b") < names.index("d")
+        assert names.index("a") < names.index("c") < names.index("d")
+
+    def test_deterministic_among_ready(self):
+        pipeline = Pipeline([_make("z"), _make("a"), _make("m")])
+        assert [t.name for t in pipeline.topological_order()] == ["z", "a", "m"]
+
+    def test_cycle_detected(self):
+        pipeline = Pipeline(
+            [_make("a", deps=("c",)), _make("b", deps=("a",)), _make("c", deps=("b",))]
+        )
+        with pytest.raises(CycleError, match="dependency cycle"):
+            pipeline.topological_order()
+
+    def test_self_cycle_detected(self):
+        pipeline = Pipeline([_make("a", deps=("a",))])
+        with pytest.raises(CycleError):
+            pipeline.validate()
+
+
+class TestRequired:
+    def test_targets_restrict_to_ancestors(self):
+        pipeline = Pipeline(
+            [
+                _make("a"),
+                _make("b", deps=("a",)),
+                _make("c", deps=("a",)),
+                _make("d", deps=("b",)),
+            ]
+        )
+        assert pipeline.required(["d"]) == {"a", "b", "d"}
+        names = [t.name for t in pipeline.topological_order(["d"])]
+        assert "c" not in names
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(PipelineError, match="unknown task"):
+            Pipeline([_make("a")]).required(["nope"])
+
+    def test_none_means_everything(self):
+        pipeline = Pipeline([_make("a"), _make("b", deps=("a",))])
+        assert pipeline.required(None) == {"a", "b"}
+
+
+class TestTaskContext:
+    def test_missing_input_raises_helpfully(self):
+        ctx = TaskContext(inputs={"a": 1})
+        assert ctx.input("a") == 1
+        with pytest.raises(PipelineError, match="declare the dependency"):
+            ctx.input("b")

@@ -89,6 +89,63 @@ class TestGeneration:
             assert np.unique(sites[users == user]).size == 1
 
 
+class TestShardedGeneration:
+    """jobs=N sharding must reproduce the serial corpus bit for bit."""
+
+    def _assert_identical(self, a, b):
+        assert np.array_equal(a.corpus.user_ids, b.corpus.user_ids)
+        assert np.array_equal(a.corpus.timestamps, b.corpus.timestamps)
+        assert np.array_equal(a.corpus.lats, b.corpus.lats)
+        assert np.array_equal(a.corpus.lons, b.corpus.lons)
+        assert np.array_equal(a.site_indices, b.site_indices)
+        assert np.array_equal(a.home_sites, b.home_sites)
+
+    def test_two_shards_bit_identical(self):
+        config = SynthConfig(n_users=300, seed=11)
+        self._assert_identical(
+            generate_corpus(config), generate_corpus(config, jobs=2)
+        )
+
+    def test_four_shards_bit_identical(self):
+        config = SynthConfig(n_users=301, seed=77)
+        self._assert_identical(
+            generate_corpus(config), generate_corpus(config, jobs=4)
+        )
+
+    def test_sharded_with_bots_bit_identical(self):
+        config = SynthConfig(
+            n_users=200, seed=5, bot_fraction=0.05,
+            bot_min_tweets=50, bot_max_tweets=100,
+        )
+        self._assert_identical(
+            generate_corpus(config), generate_corpus(config, jobs=3)
+        )
+
+    def test_sharded_with_diurnal_bit_identical(self):
+        config = SynthConfig(n_users=150, seed=9, diurnal_amplitude=0.4)
+        self._assert_identical(
+            generate_corpus(config), generate_corpus(config, jobs=2)
+        )
+
+    def test_more_jobs_than_users(self):
+        config = SynthConfig(n_users=5, seed=1)
+        self._assert_identical(
+            generate_corpus(config), generate_corpus(config, jobs=16)
+        )
+
+    def test_shard_bounds_cover_all_users(self):
+        from repro.synth.generator import _shard_bounds
+
+        counts = np.random.default_rng(0).integers(1, 100, 57)
+        for jobs in (1, 2, 3, 8, 57, 100):
+            bounds = _shard_bounds(counts, jobs)
+            assert bounds[0][0] == 0
+            assert bounds[-1][1] == 57
+            for (_, hi), (lo2, _) in zip(bounds, bounds[1:]):
+                assert hi == lo2
+            assert all(hi > lo for lo, hi in bounds)
+
+
 class TestTableOneShape:
     """The generated corpus must land near the paper's Table I values."""
 
