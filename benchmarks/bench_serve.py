@@ -1,0 +1,214 @@
+"""P2 — serving benchmark: threaded load against the estimation service.
+
+Boots the HTTP service in-process over a freshly piped artifact store,
+then drives it with a pool of client threads issuing a fixed request
+mix (population reads, flow reads, batch predictions, health checks)
+and reports throughput plus client-observed p50/p95/p99 latency as
+JSON (stdout or ``--out``), the same shape as ``bench_pipeline.py``::
+
+    python benchmarks/bench_serve.py --users 2000 --workers 8 --requests 2000
+
+The script asserts the serving guarantees while measuring: every
+request answers 200, the server's own request counters agree with the
+number of requests sent, and the GET response cache absorbs repeated
+reads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+from repro.pipeline import ArtifactStore, run_suite
+from repro.serve import create_app, create_server
+from repro.synth import SynthConfig
+
+DEFAULT_USERS = 2_000
+DEFAULT_SEED = 20150413
+DEFAULT_WORKERS = 8
+DEFAULT_REQUESTS = 2_000
+
+#: The request mix, cycled per request index.
+PREDICT_BODY = json.dumps(
+    {
+        "scale": "national",
+        "model": "gravity2",
+        "pairs": [
+            {"origin": "Sydney", "dest": "Melbourne"},
+            {"origin": "Melbourne", "dest": "Brisbane"},
+            {"origin": "Perth", "dest": "Adelaide"},
+            {"origin": "Brisbane", "dest": "Sydney"},
+        ],
+    }
+).encode("utf-8")
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def _request(base: str, index: int) -> float:
+    """Issue one request from the mix; returns client latency in ms."""
+    kind = index % 4
+    start = time.perf_counter()
+    if kind == 0:
+        request = urllib.request.Request(base + "/v1/population?scale=national")
+    elif kind == 1:
+        request = urllib.request.Request(base + "/v1/flows?scale=national&origin=Sydney")
+    elif kind == 2:
+        request = urllib.request.Request(
+            base + "/v1/predict",
+            data=PREDICT_BODY,
+            headers={"Content-Type": "application/json"},
+        )
+    else:
+        request = urllib.request.Request(base + "/healthz")
+    with urllib.request.urlopen(request, timeout=30) as response:
+        response.read()
+        if response.status != 200:
+            raise AssertionError(f"request {index} answered {response.status}")
+    return (time.perf_counter() - start) * 1000.0
+
+
+def run_benchmark(
+    users: int, seed: int, workers: int, requests: int, cache_dir: str
+) -> dict:
+    """Pipe a corpus, boot the service, hammer it, report latencies."""
+    store = ArtifactStore(cache_dir)
+    store.clear()
+    pipe_start = time.perf_counter()
+    run_suite(
+        config=SynthConfig(n_users=users, seed=seed),
+        store=store,
+        targets=("corpus",),
+    )
+    pipe_seconds = time.perf_counter() - pipe_start
+
+    boot_start = time.perf_counter()
+    app = create_app(store, poll_interval=3600.0)
+    server = create_server("127.0.0.1", 0, app, access_log_file=None)
+    boot_seconds = time.perf_counter() - boot_start
+    base = f"http://127.0.0.1:{server.port}"
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+
+    latencies: list[float] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+    counter = iter(range(requests))
+
+    def worker() -> None:
+        local: list[float] = []
+        while True:
+            with lock:
+                index = next(counter, None)
+            if index is None:
+                break
+            try:
+                local.append(_request(base, index))
+            except BaseException as exc:  # noqa: BLE001 - report, don't hang
+                with lock:
+                    errors.append(exc)
+                break
+        with lock:
+            latencies.extend(local)
+
+    load_start = time.perf_counter()
+    threads = [threading.Thread(target=worker) for _ in range(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    load_seconds = time.perf_counter() - load_start
+
+    # Drain handler threads before reading counters: a handler records
+    # its observation after writing the response bytes the client saw.
+    server.shutdown()
+    server.server_close()
+    metrics = app.metrics.snapshot()
+
+    if errors:
+        raise AssertionError(f"{len(errors)} requests failed; first: {errors[0]!r}")
+    assert len(latencies) == requests, "lost requests"
+    served = sum(e["requests"] for e in metrics["endpoints"].values())
+    assert served == requests, f"server counted {served} of {requests} requests"
+    cache = metrics["endpoints"]["GET /v1/population"]
+    assert cache["cache_hits"] > 0, "response cache never hit"
+
+    latencies.sort()
+    return {
+        "users": users,
+        "seed": seed,
+        "workers": workers,
+        "requests": requests,
+        "pipeline_seconds": round(pipe_seconds, 3),
+        "boot_seconds": round(boot_seconds, 3),
+        "load_seconds": round(load_seconds, 3),
+        "requests_per_second": round(requests / max(load_seconds, 1e-9), 1),
+        "p50_ms": round(_percentile(latencies, 0.50), 3),
+        "p95_ms": round(_percentile(latencies, 0.95), 3),
+        "p99_ms": round(_percentile(latencies, 0.99), 3),
+        "max_ms": round(latencies[-1], 3),
+        "response_cache_hits": sum(
+            e["cache_hits"] for e in metrics["endpoints"].values()
+        ),
+        "server_errors": sum(
+            e["errors_4xx"] + e["errors_5xx"] for e in metrics["endpoints"].values()
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=DEFAULT_USERS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    parser.add_argument("--requests", type=int, default=DEFAULT_REQUESTS)
+    parser.add_argument(
+        "--cache-dir", help="benchmark cache root (default: a temp dir)"
+    )
+    parser.add_argument("--out", help="write the JSON summary here (else stdout)")
+    args = parser.parse_args(argv)
+
+    if args.cache_dir:
+        summary = run_benchmark(
+            args.users, args.seed, args.workers, args.requests, args.cache_dir
+        )
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as cache_dir:
+            summary = run_benchmark(
+                args.users, args.seed, args.workers, args.requests, cache_dir
+            )
+
+    text = json.dumps(summary, indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def test_serve_load(tmp_path):
+    """Harness entry: small-scale load benchmark under pytest."""
+    summary = run_benchmark(
+        users=800, seed=DEFAULT_SEED, workers=4, requests=200, cache_dir=str(tmp_path)
+    )
+    print()
+    print(json.dumps(summary, indent=2))
+    assert summary["server_errors"] == 0
+    assert summary["requests_per_second"] > 0
+    assert summary["p50_ms"] <= summary["p95_ms"] <= summary["p99_ms"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

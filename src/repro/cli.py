@@ -9,6 +9,7 @@ Usage (installed as ``repro`` or via ``python -m repro``)::
     repro pipeline run --users 40000 --jobs 4
     repro pipeline status
     repro pipeline clean
+    repro serve --port 8000
     repro epidemic --users 20000 --seed-city Sydney --model gravity2
 
 ``experiment`` accepts either ``--corpus FILE`` (a CSV written by
@@ -25,9 +26,10 @@ import argparse
 import sys
 import time
 
+import repro
 from repro.data.corpus import TweetCorpus
 from repro.data.gazetteer import Scale, areas_for_scale
-from repro.data.io import read_tweets_csv, write_tweets_csv
+from repro.data.io import DataFormatError, read_tweets_csv, write_tweets_csv
 from repro.epidemic import arrival_times, network_from_model
 from repro.experiments import (
     ExperimentContext,
@@ -45,6 +47,30 @@ from repro.synth import SynthConfig, generate_corpus
 EXPERIMENTS = ("table1", "fig1", "fig2", "fig3", "fig4", "table2", "all")
 
 
+class CLIError(Exception):
+    """A user-facing CLI failure: one message line, no traceback."""
+
+    def __init__(self, message: str, code: int = 2) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _read_corpus(path: str) -> TweetCorpus:
+    """Load a corpus CSV, mapping I/O failures to clean CLI errors."""
+    try:
+        return TweetCorpus.from_tweets(read_tweets_csv(path))
+    except FileNotFoundError:
+        raise CLIError(f"corpus file not found: {path}") from None
+    except IsADirectoryError:
+        raise CLIError(f"corpus path is a directory, not a file: {path}") from None
+    except PermissionError:
+        raise CLIError(f"corpus file is not readable: {path}") from None
+    except DataFormatError as exc:
+        raise CLIError(f"malformed corpus file: {exc}") from None
+    except OSError as exc:
+        raise CLIError(f"cannot read corpus file {path}: {exc}") from None
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -52,6 +78,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Multi-scale Population and Mobility Estimation "
             "with Geo-tagged Tweets' (Liu et al., ICDE 2015)"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -106,6 +135,33 @@ def _build_parser() -> argparse.ArgumentParser:
     pstatus.add_argument("--cache-dir", help="artifact cache directory")
     pclean = pipe_sub.add_parser("clean", help="delete every cached artifact and run")
     pclean.add_argument("--cache-dir", help="artifact cache directory")
+
+    serve = sub.add_parser(
+        "serve", help="HTTP estimation service over the artifact cache"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8000, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument("--cache-dir", help="artifact cache directory")
+    serve.add_argument(
+        "--monitor-scale",
+        choices=[s.value for s in Scale],
+        default=Scale.NATIONAL.value,
+        help="area system for the live ingest monitor",
+    )
+    serve.add_argument(
+        "--window-seconds", type=float, default=3600.0,
+        help="sliding flow window for the ingest monitor",
+    )
+    serve.add_argument(
+        "--poll-interval", type=float, default=2.0,
+        help="minimum seconds between hot-reload checks",
+    )
+    serve.add_argument(
+        "--max-body-kb", type=int, default=1024,
+        help="largest accepted request body (KiB)",
+    )
 
     epi = sub.add_parser("epidemic", help="disease-spread forecast on fitted mobility")
     epi.add_argument("--users", type=int, default=20_000, help="users to synthesise")
@@ -180,7 +236,7 @@ def _build_parser() -> argparse.ArgumentParser:
 def _load_or_generate(args: argparse.Namespace) -> TweetCorpus:
     if getattr(args, "corpus", None):
         print(f"loading corpus from {args.corpus} ...", file=sys.stderr)
-        return TweetCorpus.from_tweets(read_tweets_csv(args.corpus))
+        return _read_corpus(args.corpus)
     print(f"synthesising corpus ({args.users} users) ...", file=sys.stderr)
     return generate_corpus(SynthConfig(n_users=args.users, seed=args.seed)).corpus
 
@@ -202,7 +258,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    corpus = TweetCorpus.from_tweets(read_tweets_csv(args.corpus))
+    corpus = _read_corpus(args.corpus)
     print(run_table1(corpus).render())
     return 0
 
@@ -344,6 +400,44 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.pipeline import ArtifactStore
+    from repro.serve import (
+        RegistryError,
+        create_app,
+        create_server,
+        install_signal_handlers,
+    )
+
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
+    try:
+        app = create_app(
+            store,
+            monitor_scale=Scale(args.monitor_scale),
+            window_seconds=args.window_seconds,
+            poll_interval=args.poll_interval,
+            max_body_bytes=args.max_body_kb * 1024,
+        )
+    except RegistryError as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 2
+    server = create_server(args.host, args.port, app)
+    install_signal_handlers(server)
+    snapshot = app.registry.snapshot
+    print(
+        f"serving run {snapshot.run_id} "
+        f"({snapshot.n_tweets} tweets, {snapshot.n_users} users) "
+        f"on http://{args.host}:{server.port} — SIGINT/SIGTERM to stop",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    print("shutdown complete: in-flight requests drained", file=sys.stderr)
+    return 0
+
+
 def _cmd_epidemic(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -457,7 +551,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_health(args: argparse.Namespace) -> int:
     from repro.data.validation import corpus_health_report, detect_bots
 
-    corpus = TweetCorpus.from_tweets(read_tweets_csv(args.corpus))
+    corpus = _read_corpus(args.corpus)
     print(corpus_health_report(corpus).render())
     bots = detect_bots(corpus, max_rate_per_day=args.max_rate)
     if bots.size:
@@ -471,7 +565,7 @@ def _cmd_health(args: argparse.Namespace) -> int:
 def _cmd_anonymize(args: argparse.Namespace) -> int:
     from repro.data.anonymize import coarsen_coordinates, pseudonymize_users
 
-    corpus = TweetCorpus.from_tweets(read_tweets_csv(args.corpus))
+    corpus = _read_corpus(args.corpus)
     anonymous = pseudonymize_users(corpus, key=args.key)
     if args.coarsen_km > 0:
         anonymous = coarsen_coordinates(anonymous, args.coarsen_km)
@@ -502,6 +596,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "experiment": _cmd_experiment,
         "pipeline": _cmd_pipeline,
+        "serve": _cmd_serve,
         "epidemic": _cmd_epidemic,
         "groundtruth": _cmd_groundtruth,
         "validate": _cmd_validate,
@@ -512,7 +607,11 @@ def main(argv: list[str] | None = None) -> int:
         "anonymize": _cmd_anonymize,
         "densitymap": _cmd_densitymap,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except CLIError as error:
+        print(f"repro {args.command}: {error}", file=sys.stderr)
+        return error.code
 
 
 if __name__ == "__main__":

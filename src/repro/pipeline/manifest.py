@@ -79,6 +79,43 @@ class RunManifest:
             "records": [asdict(r) for r in self.records],
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        """Rebuild a manifest from its ``to_dict`` form."""
+        records = [
+            TaskRecord(
+                name=r["name"],
+                status=r["status"],
+                cache_key=r.get("cache_key", ""),
+                digest=r.get("digest", ""),
+                seconds=r.get("seconds", 0.0),
+                where=r.get("where", "parent"),
+                error=r.get("error"),
+            )
+            for r in data.get("records", [])
+        ]
+        return cls(
+            run_id=data["run_id"],
+            jobs=data.get("jobs", 1),
+            cache_dir=data.get("cache_dir", ""),
+            targets=list(data.get("targets", [])),
+            total_seconds=data.get("total_seconds", 0.0),
+            records=records,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest":
+        """Read a ``manifest.json`` written by :meth:`write`."""
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_dict(data)
+
+    def digest_of(self, task_name: str) -> str | None:
+        """The artifact digest a run bound to ``task_name``, if any."""
+        for record in self.records:
+            if record.name == task_name and record.digest:
+                return record.digest
+        return None
+
     def write(self, directory: str | Path) -> Path:
         """Write ``manifest.json`` into ``directory``; returns its path."""
         directory = Path(directory)

@@ -115,6 +115,49 @@ class ArtifactStore:
         except (OSError, json.JSONDecodeError):
             return None
 
+    # -- runs ----------------------------------------------------------
+
+    def run_ids(self) -> list[str]:
+        """Every recorded run id, oldest first.
+
+        Run ids start with a ``%Y%m%d-%H%M%S`` stamp, so lexicographic
+        order is chronological order.
+        """
+        if not self.runs_dir.exists():
+            return []
+        return sorted(
+            p.name for p in self.runs_dir.iterdir()
+            if (p / "manifest.json").is_file()
+        )
+
+    def load_run(self, run_id: str):
+        """The :class:`RunManifest` of one recorded run, or ``None``."""
+        from repro.pipeline.manifest import RunManifest
+
+        path = self.runs_dir / run_id / "manifest.json"
+        try:
+            return RunManifest.load(path)
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def latest_successful_run(self, required: tuple[str, ...] = ("corpus",)):
+        """The newest run whose ``required`` artifacts are all servable.
+
+        A run qualifies when it recorded no failed task, bound a digest
+        to every name in ``required``, and each of those objects is
+        still present on disk (a ``clean`` may have removed them).
+        Returns the :class:`RunManifest`, or ``None`` when no run
+        qualifies — the serving registry's snapshot source.
+        """
+        for run_id in reversed(self.run_ids()):
+            manifest = self.load_run(run_id)
+            if manifest is None or manifest.failed is not None:
+                continue
+            digests = [manifest.digest_of(name) for name in required]
+            if all(d is not None and self.has_object(d) for d in digests):
+                return manifest
+        return None
+
     # -- maintenance ---------------------------------------------------
 
     def clear(self) -> int:

@@ -1,0 +1,552 @@
+"""The HTTP estimation service (stdlib-only).
+
+Architecture: :class:`EstimationApp` is the transport-free core — a
+router mapping ``(method, path)`` to handlers that take parsed query and
+body values and return ``(status, payload)`` — so every endpoint is unit
+testable without opening a socket.  :class:`RequestHandler` adapts it to
+``http.server``: it enforces body limits, parses JSON, serialises
+responses and emits one structured JSON access-log line per request.
+:class:`EstimationServer` is a :class:`~http.server.ThreadingHTTPServer`
+configured to *drain* in-flight requests on shutdown (non-daemon handler
+threads joined by ``server_close``).
+
+Endpoints
+---------
+========  =====================  ==========================================
+GET       ``/healthz``           liveness + current snapshot identity
+GET       ``/metrics``           per-endpoint counters and latency quantiles
+GET       ``/v1/population``     per-area census vs Twitter population
+GET       ``/v1/flows``          OD flow matrix entries, filterable
+POST      ``/v1/predict``        batch OD predictions from fitted models
+POST      ``/v1/ingest``         push a tweet batch into the live monitor
+GET       ``/v1/anomalies``      flow anomalies raised by the monitor
+POST      ``/v1/reload``         force a registry reload check
+==========================================================================
+
+Errors are JSON bodies ``{"error": {"code": ..., "message": ...}}`` with
+the matching HTTP status.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+from urllib.parse import parse_qsl, urlsplit
+
+import numpy as np
+
+from repro.data.gazetteer import Scale, areas_for_scale, search_radius_km
+from repro.data.schema import SchemaError
+from repro.pipeline.store import ArtifactStore
+from repro.serve.cache import LRUCache
+from repro.serve.ingest import IngestService
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.registry import MODEL_KEYS, ModelRegistry, ScaleSnapshot
+
+#: Endpoints whose responses are pure functions of (URL, snapshot) and
+#: therefore safe to serve from the LRU response cache.
+CACHEABLE = {"GET /v1/population", "GET /v1/flows"}
+
+#: Hard ceiling on request bodies (bytes) unless configured lower.
+DEFAULT_MAX_BODY_BYTES = 1 << 20
+
+#: Largest accepted ``pairs`` list in one predict request.
+MAX_PREDICT_PAIRS = 10_000
+
+#: Largest accepted ``tweets`` list in one ingest batch.
+MAX_INGEST_TWEETS = 50_000
+
+
+class ApiError(Exception):
+    """An error with a deliberate HTTP status and client-safe message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _error_payload(status: int, message: str) -> dict:
+    return {"error": {"code": status, "message": message}}
+
+
+class EstimationApp:
+    """Routing and endpoint logic, independent of the HTTP transport."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        ingest: IngestService,
+        metrics: MetricsRegistry | None = None,
+        cache_capacity: int = 256,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ) -> None:
+        self.registry = registry
+        self.ingest = ingest
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = LRUCache(cache_capacity)
+        self.max_body_bytes = max_body_bytes
+        self.started_at = time.time()
+        self._routes: dict[tuple[str, str], Callable] = {
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/v1/population"): self._handle_population,
+            ("GET", "/v1/flows"): self._handle_flows,
+            ("POST", "/v1/predict"): self._handle_predict,
+            ("POST", "/v1/ingest"): self._handle_ingest,
+            ("GET", "/v1/anomalies"): self._handle_anomalies,
+            ("POST", "/v1/reload"): self._handle_reload,
+        }
+
+    # -- dispatch ------------------------------------------------------
+
+    def route_label(self, method: str, path: str) -> str:
+        """The metrics label for a request (known routes only)."""
+        if (method, path) in self._routes:
+            return f"{method} {path}"
+        return "unmatched"
+
+    def handle(
+        self, method: str, path: str, query: dict, body: dict | None
+    ) -> tuple[int, dict, bool]:
+        """Dispatch one request; returns ``(status, payload, cache_hit)``.
+
+        Never raises: every failure is rendered as a JSON error payload
+        with the appropriate status code.
+        """
+        handler = self._routes.get((method, path))
+        if handler is None:
+            if any(p == path for (_m, p) in self._routes):
+                allowed = sorted(m for (m, p) in self._routes if p == path)
+                return (
+                    405,
+                    _error_payload(405, f"method {method} not allowed; use {allowed}"),
+                    False,
+                )
+            return 404, _error_payload(404, f"no such endpoint: {path}"), False
+
+        # Serving endpoints see new pipeline runs promptly: a throttled
+        # reload check runs ahead of any snapshot read.
+        if path.startswith("/v1/") and path != "/v1/reload":
+            if self.registry.maybe_reload():
+                self.metrics.count_reload()
+
+        label = f"{method} {path}"
+        cache_key = None
+        if label in CACHEABLE:
+            try:
+                run_id = self.registry.snapshot.run_id
+            except Exception as exc:
+                return 503, _error_payload(503, str(exc)), False
+            cache_key = (path, tuple(sorted(query.items())), run_id)
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                status, payload = cached
+                return status, payload, True
+
+        try:
+            status, payload = handler(query, body)
+        except ApiError as exc:
+            return exc.status, _error_payload(exc.status, exc.message), False
+        except Exception as exc:  # defensive: never leak a traceback
+            return 500, _error_payload(500, f"internal error: {exc!r}"), False
+        if cache_key is not None and status == 200:
+            self.cache.put(cache_key, (status, payload))
+        return status, payload, False
+
+    # -- helpers -------------------------------------------------------
+
+    def _snapshot_scale(self, query: dict) -> ScaleSnapshot:
+        """The scale snapshot a request addresses (default national)."""
+        try:
+            snapshot = self.registry.snapshot
+        except Exception as exc:
+            raise ApiError(503, str(exc)) from exc
+        name = query.get("scale", Scale.NATIONAL.value)
+        scale = snapshot.scale(name)
+        if scale is None:
+            known = [s.value for s in Scale]
+            raise ApiError(400, f"unknown scale {name!r}; expected one of {known}")
+        return scale
+
+    @staticmethod
+    def _require_body(body: dict | None) -> dict:
+        if body is None:
+            raise ApiError(400, "request body must be a JSON object")
+        return body
+
+    # -- endpoints -----------------------------------------------------
+
+    def _handle_healthz(self, query: dict, body: dict | None) -> tuple[int, dict]:
+        try:
+            snapshot = self.registry.snapshot
+        except Exception as exc:
+            return 503, _error_payload(503, str(exc))
+        return 200, {
+            "status": "ok",
+            "run_id": snapshot.run_id,
+            "corpus_digest": snapshot.corpus_digest,
+            "corpus_tweets": snapshot.n_tweets,
+            "corpus_users": snapshot.n_users,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+        }
+
+    def _handle_metrics(self, query: dict, body: dict | None) -> tuple[int, dict]:
+        payload = self.metrics.snapshot()
+        payload["response_cache"] = {
+            "size": len(self.cache),
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+        }
+        payload["ingest"] = self.ingest.stats()
+        return 200, payload
+
+    def _handle_population(self, query: dict, body: dict | None) -> tuple[int, dict]:
+        scale = self._snapshot_scale(query)
+        areas = [
+            {
+                "name": obs.area.name,
+                "census_population": obs.census_population,
+                "twitter_population": obs.n_users,
+                "tweets": obs.n_tweets,
+            }
+            for obs in scale.observations
+        ]
+        return 200, {
+            "scale": scale.scale.value,
+            "radius_km": scale.radius_km,
+            "run_id": self.registry.snapshot.run_id,
+            "areas": areas,
+        }
+
+    def _handle_flows(self, query: dict, body: dict | None) -> tuple[int, dict]:
+        scale = self._snapshot_scale(query)
+        matrix = scale.flows.matrix
+        origin = query.get("origin")
+        dest = query.get("dest")
+        rows = range(len(scale.areas))
+        cols = range(len(scale.areas))
+        if origin is not None:
+            index = scale.area_index(origin)
+            if index < 0:
+                raise ApiError(400, f"unknown origin area {origin!r}")
+            rows = [index]
+        if dest is not None:
+            index = scale.area_index(dest)
+            if index < 0:
+                raise ApiError(400, f"unknown dest area {dest!r}")
+            cols = [index]
+        flows = [
+            {
+                "origin": scale.areas[i].name,
+                "dest": scale.areas[j].name,
+                "flow": int(matrix[i, j]),
+                "distance_km": round(float(scale.distance_km[i, j]), 3),
+            }
+            for i in rows
+            for j in cols
+            if i != j and matrix[i, j] > 0
+        ]
+        return 200, {
+            "scale": scale.scale.value,
+            "run_id": self.registry.snapshot.run_id,
+            "total_trips": scale.flows.total_trips,
+            "flows": flows,
+        }
+
+    def _handle_predict(self, query: dict, body: dict | None) -> tuple[int, dict]:
+        body = self._require_body(body)
+        scale = self._snapshot_scale(
+            {"scale": body.get("scale", Scale.NATIONAL.value)}
+        )
+        model_key = body.get("model", "gravity2")
+        if model_key not in MODEL_KEYS:
+            raise ApiError(400, f"unknown model {model_key!r}; expected {list(MODEL_KEYS)}")
+        if model_key not in scale.models:
+            raise ApiError(
+                503,
+                f"model {model_key!r} is not fitted at scale "
+                f"{scale.scale.value!r} (too few positive flows in this run)",
+            )
+        raw_pairs = body.get("pairs")
+        if not isinstance(raw_pairs, list) or not raw_pairs:
+            raise ApiError(400, "body must carry a non-empty 'pairs' list")
+        if len(raw_pairs) > MAX_PREDICT_PAIRS:
+            raise ApiError(
+                413, f"at most {MAX_PREDICT_PAIRS} pairs per request, got {len(raw_pairs)}"
+            )
+        sources = np.empty(len(raw_pairs), dtype=np.intp)
+        dests = np.empty(len(raw_pairs), dtype=np.intp)
+        for position, pair in enumerate(raw_pairs):
+            if not isinstance(pair, dict) or "origin" not in pair or "dest" not in pair:
+                raise ApiError(
+                    400, f"pairs[{position}] must be an object with 'origin' and 'dest'"
+                )
+            i = scale.area_index(str(pair["origin"]))
+            if i < 0:
+                raise ApiError(400, f"pairs[{position}]: unknown origin {pair['origin']!r}")
+            j = scale.area_index(str(pair["dest"]))
+            if j < 0:
+                raise ApiError(400, f"pairs[{position}]: unknown dest {pair['dest']!r}")
+            if i == j:
+                raise ApiError(400, f"pairs[{position}]: origin and dest must differ")
+            sources[position] = i
+            dests[position] = j
+        predicted = scale.predict_pairs(model_key, sources, dests)
+        return 200, {
+            "scale": scale.scale.value,
+            "model": model_key,
+            "run_id": self.registry.snapshot.run_id,
+            "predictions": [
+                {
+                    "origin": scale.areas[int(i)].name,
+                    "dest": scale.areas[int(j)].name,
+                    "flow": round(float(value), 6),
+                }
+                for i, j, value in zip(sources, dests, predicted)
+            ],
+        }
+
+    def _handle_ingest(self, query: dict, body: dict | None) -> tuple[int, dict]:
+        body = self._require_body(body)
+        raw = body.get("tweets")
+        if not isinstance(raw, list) or not raw:
+            raise ApiError(400, "body must carry a non-empty 'tweets' list")
+        if len(raw) > MAX_INGEST_TWEETS:
+            raise ApiError(
+                413, f"at most {MAX_INGEST_TWEETS} tweets per batch, got {len(raw)}"
+            )
+        tweets = []
+        for position, record in enumerate(raw):
+            try:
+                tweets.append(IngestService.parse_tweet(record))
+            except SchemaError as exc:
+                raise ApiError(400, f"tweets[{position}]: {exc}") from exc
+        result = self.ingest.ingest(tweets)
+        return 200, {
+            "accepted": result.accepted,
+            "dropped_stale": result.dropped_stale,
+            "anomalies_raised": result.anomalies_raised,
+        }
+
+    def _handle_anomalies(self, query: dict, body: dict | None) -> tuple[int, dict]:
+        if query.get("check") in ("1", "true"):
+            self.ingest.check_now()
+        anomalies = self.ingest.anomalies()
+        return 200, {
+            "count": len(anomalies),
+            "anomalies": [
+                {
+                    "source": a.source,
+                    "dest": a.dest,
+                    "observed": a.observed,
+                    "baseline": round(a.baseline, 3),
+                    "ratio": round(a.ratio, 3),
+                    "timestamp": a.timestamp,
+                }
+                for a in anomalies
+            ],
+            "stats": self.ingest.stats(),
+        }
+
+    def _handle_reload(self, query: dict, body: dict | None) -> tuple[int, dict]:
+        reloaded = self.registry.maybe_reload(force=True)
+        if reloaded:
+            self.metrics.count_reload()
+        try:
+            run_id = self.registry.snapshot.run_id
+        except Exception as exc:
+            return 503, _error_payload(503, str(exc))
+        return 200, {"reloaded": reloaded, "run_id": run_id}
+
+
+class RequestHandler(BaseHTTPRequestHandler):
+    """JSON-over-HTTP adapter for :class:`EstimationApp`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+    #: Socket read timeout per request — a stalled client cannot pin a
+    #: handler thread forever.
+    timeout = 30.0
+
+    @property
+    def app(self) -> EstimationApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        started = time.perf_counter()
+        split = urlsplit(self.path)
+        path = split.path.rstrip("/") or "/"
+        query = dict(parse_qsl(split.query))
+        try:
+            body = self._read_json_body(method)
+        except ApiError as exc:
+            # The body may be partly unread — drop the connection rather
+            # than letting keep-alive resynchronise on request bytes.
+            self.close_connection = True
+            self._finish(
+                method, path, exc.status, _error_payload(exc.status, exc.message),
+                started, cached=False,
+            )
+            return
+        status, payload, cached = self.app.handle(method, path, query, body)
+        self._finish(method, path, status, payload, started, cached=cached)
+
+    def _read_json_body(self, method: str) -> dict | None:
+        if method != "POST":
+            return None
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            raise ApiError(411, "POST requires a Content-Length header")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise ApiError(400, f"invalid Content-Length {raw_length!r}") from None
+        if length < 0:
+            raise ApiError(400, f"invalid Content-Length {raw_length!r}")
+        if length > self.app.max_body_bytes:
+            raise ApiError(
+                413,
+                f"body of {length} bytes exceeds the "
+                f"{self.app.max_body_bytes}-byte limit",
+            )
+        try:
+            data = self.rfile.read(length)
+        except (TimeoutError, OSError) as exc:
+            raise ApiError(408, f"timed out reading request body: {exc}") from exc
+        try:
+            parsed = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ApiError(400, f"malformed JSON body: {exc}") from exc
+        if not isinstance(parsed, dict):
+            raise ApiError(400, "JSON body must be an object")
+        return parsed
+
+    def _finish(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        payload: dict,
+        started: float,
+        cached: bool,
+    ) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; still account for the request
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self.app.metrics.observe(
+            self.app.route_label(method, path), status, elapsed_ms, cached=cached
+        )
+        self._access_log(method, path, status, elapsed_ms, cached)
+
+    def _access_log(
+        self, method: str, path: str, status: int, ms: float, cached: bool
+    ) -> None:
+        record = {
+            "ts": round(time.time(), 3),
+            "method": method,
+            "path": path,
+            "status": status,
+            "ms": round(ms, 3),
+            "cached": cached,
+            "client": self.client_address[0],
+        }
+        log_file = getattr(self.server, "access_log_file", None)  # type: ignore[attr-defined]
+        if log_file is not None:
+            print(json.dumps(record), file=log_file, flush=True)
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence http.server's default stderr lines (we emit JSON)."""
+
+
+class EstimationServer(ThreadingHTTPServer):
+    """Threaded HTTP server that drains in-flight requests on close."""
+
+    #: Handler threads are joined by ``server_close`` — graceful drain.
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], app: EstimationApp, access_log_file=None):
+        super().__init__(address, RequestHandler)
+        self.app = app
+        self.access_log_file = access_log_file
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ephemeral port 0)."""
+        return self.server_address[1]
+
+
+def create_app(
+    store: ArtifactStore,
+    monitor_scale: Scale = Scale.NATIONAL,
+    window_seconds: float = 3600.0,
+    poll_interval: float = 2.0,
+    cache_capacity: int = 256,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    preload: bool = True,
+) -> EstimationApp:
+    """Wire registry + ingest + metrics into an app over one store.
+
+    With ``preload`` (the default) the initial snapshot is built before
+    the first request, so a misconfigured cache dir fails fast at boot.
+    """
+    registry = ModelRegistry(store, poll_interval=poll_interval)
+    if preload:
+        registry.load()
+    ingest = IngestService(
+        areas_for_scale(monitor_scale),
+        radius_km=search_radius_km(monitor_scale),
+        window_seconds=window_seconds,
+    )
+    return EstimationApp(
+        registry,
+        ingest,
+        cache_capacity=cache_capacity,
+        max_body_bytes=max_body_bytes,
+    )
+
+
+def create_server(
+    host: str,
+    port: int,
+    app: EstimationApp,
+    access_log_file=sys.stderr,
+) -> EstimationServer:
+    """Bind the service (``port=0`` picks an ephemeral port)."""
+    return EstimationServer((host, port), app, access_log_file=access_log_file)
+
+
+def install_signal_handlers(server: EstimationServer) -> None:
+    """Arrange graceful shutdown on SIGTERM/SIGINT.
+
+    ``shutdown`` must not run on the thread inside ``serve_forever``,
+    so the handler hands it to a short-lived helper thread; the main
+    thread then falls out of ``serve_forever`` and drains via
+    ``server_close``.
+    """
+
+    def _handle(signum, frame):  # pragma: no cover - exercised via CLI
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _handle)
+    signal.signal(signal.SIGINT, _handle)

@@ -1,0 +1,48 @@
+"""A small thread-safe LRU cache for idempotent GET responses.
+
+Values are fully rendered response bodies keyed by
+``(path, query, snapshot run id)`` — including the run id means a
+registry hot-reload implicitly invalidates every cached entry without
+any coordination: stale keys simply age out of the LRU.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable):
+        """The cached value, or ``None``; refreshes recency on hit."""
+        with self._lock:
+            if key not in self._entries:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert (or refresh) an entry, evicting the oldest if full."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,121 @@
+"""Live tweet ingest: a lock-guarded :class:`MobilityMonitor`.
+
+``POST /v1/ingest`` delivers tweet batches from arbitrary HTTP client
+threads, but the monitor (and the sliding-window counters under it) is
+a strictly single-writer, time-ordered structure.  :class:`IngestService`
+is the adapter: one mutex serialises all monitor access, each batch is
+sorted by timestamp before pushing, and tweets older than the stream's
+high-water mark are *dropped and counted* rather than raising — an HTTP
+client cannot be trusted to deliver globally ordered batches.
+
+Reads (``/v1/anomalies``) take the same lock, so anomaly listings are
+consistent with completed batches — a deliberate single-writer design,
+documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.gazetteer import Area
+from repro.data.schema import SchemaError, Tweet
+from repro.stream.monitor import FlowAnomaly, MobilityMonitor
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Outcome of one ingest batch."""
+
+    accepted: int
+    dropped_stale: int
+    anomalies_raised: int
+
+
+class IngestService:
+    """Thread-safe facade over a windowed mobility monitor."""
+
+    def __init__(
+        self,
+        areas: Sequence[Area],
+        radius_km: float,
+        window_seconds: float = 3600.0,
+        **monitor_kwargs,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._monitor = MobilityMonitor(
+            areas, radius_km, window_seconds, **monitor_kwargs
+        )
+        self._accepted = 0
+        self._dropped_stale = 0
+
+    @staticmethod
+    def parse_tweet(record: dict) -> Tweet:
+        """Build a validated :class:`Tweet` from one JSON object.
+
+        Raises :class:`~repro.data.schema.SchemaError` on missing or
+        out-of-range fields.
+        """
+        if not isinstance(record, dict):
+            raise SchemaError(f"tweet must be an object, got {type(record).__name__}")
+        try:
+            return Tweet(
+                user_id=int(record["user_id"]),
+                timestamp=float(record["timestamp"]),
+                lat=float(record["lat"]),
+                lon=float(record["lon"]),
+                tweet_id=int(record.get("tweet_id", -1)),
+            )
+        except KeyError as exc:
+            raise SchemaError(f"tweet missing field {exc.args[0]!r}") from exc
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(str(exc)) from exc
+
+    def ingest(self, tweets: Sequence[Tweet]) -> IngestResult:
+        """Push one batch through the monitor, oldest first.
+
+        Within-batch disorder is repaired by sorting; tweets behind the
+        monitor's high-water mark are dropped (counted, not an error).
+        """
+        ordered = sorted(tweets, key=lambda t: t.timestamp)
+        accepted = 0
+        dropped = 0
+        anomalies = 0
+        with self._lock:
+            watermark = self._monitor.counter._latest
+            for tweet in ordered:
+                if tweet.timestamp < watermark:
+                    dropped += 1
+                    continue
+                anomalies += len(self._monitor.push(tweet))
+                watermark = tweet.timestamp
+            accepted = len(ordered) - dropped
+            self._accepted += accepted
+            self._dropped_stale += dropped
+        return IngestResult(
+            accepted=accepted, dropped_stale=dropped, anomalies_raised=anomalies
+        )
+
+    def anomalies(self) -> list[FlowAnomaly]:
+        """Every anomaly raised so far (consistent with complete batches)."""
+        with self._lock:
+            return self._monitor.anomalies
+
+    def check_now(self) -> list[FlowAnomaly]:
+        """Force an anomaly check at the current stream time."""
+        with self._lock:
+            return self._monitor.check_now()
+
+    def stats(self) -> dict:
+        """Ingest counters plus current window state."""
+        with self._lock:
+            monitor = self._monitor
+            return {
+                "accepted": self._accepted,
+                "dropped_stale": self._dropped_stale,
+                "window_transitions": monitor.counter.total_transitions,
+                "checks_done": monitor._checks_done,
+                "anomalies_total": len(monitor._anomalies),
+                "has_windowed_fit": monitor.latest_fit is not None,
+            }

@@ -1,0 +1,140 @@
+"""Request metrics: per-endpoint counters and latency histograms.
+
+The estimation service records every handled request into a
+:class:`MetricsRegistry` — one :class:`EndpointMetrics` per route label
+(e.g. ``GET /v1/population``).  Latencies accumulate into fixed
+log-spaced millisecond buckets, from which p50/p95/p99 are interpolated;
+the exposed snapshot is what ``GET /metrics`` serialises.
+
+Everything is guarded by one registry-wide lock: observations are a few
+integer increments, so contention is negligible next to request I/O.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+#: Upper edges (milliseconds) of the latency histogram buckets.  The
+#: final implicit bucket is +inf.
+LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+def quantile_from_buckets(
+    counts: list[int], edges: tuple[float, ...], q: float
+) -> float:
+    """Interpolated quantile (ms) from cumulative histogram counts.
+
+    ``counts`` has ``len(edges) + 1`` entries (the last is the overflow
+    bucket).  Linear interpolation within the bucket containing the
+    target rank; the overflow bucket reports its lower edge.
+    """
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    seen = 0.0
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        if seen + count >= rank:
+            lower = edges[index - 1] if index > 0 else 0.0
+            if index >= len(edges):  # overflow bucket: no upper edge
+                return lower
+            upper = edges[index]
+            fraction = (rank - seen) / count
+            return lower + fraction * (upper - lower)
+        seen += count
+    return edges[-1]
+
+
+@dataclass
+class EndpointMetrics:
+    """Counters and a latency histogram for one route."""
+
+    requests: int = 0
+    errors_4xx: int = 0
+    errors_5xx: int = 0
+    cache_hits: int = 0
+    total_ms: float = 0.0
+    max_ms: float = 0.0
+    bucket_counts: list[int] = field(
+        default_factory=lambda: [0] * (len(LATENCY_BUCKETS_MS) + 1)
+    )
+
+    def observe(self, status: int, ms: float, cached: bool = False) -> None:
+        """Record one handled request."""
+        self.requests += 1
+        if 400 <= status < 500:
+            self.errors_4xx += 1
+        elif status >= 500:
+            self.errors_5xx += 1
+        if cached:
+            self.cache_hits += 1
+        self.total_ms += ms
+        self.max_ms = max(self.max_ms, ms)
+        for index, edge in enumerate(LATENCY_BUCKETS_MS):
+            if ms <= edge:
+                self.bucket_counts[index] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+
+    def snapshot(self) -> dict:
+        """Plain-data form for the ``/metrics`` endpoint."""
+        mean = self.total_ms / self.requests if self.requests else 0.0
+        return {
+            "requests": self.requests,
+            "errors_4xx": self.errors_4xx,
+            "errors_5xx": self.errors_5xx,
+            "cache_hits": self.cache_hits,
+            "latency_ms": {
+                "mean": round(mean, 3),
+                "max": round(self.max_ms, 3),
+                "p50": round(
+                    quantile_from_buckets(self.bucket_counts, LATENCY_BUCKETS_MS, 0.50), 3
+                ),
+                "p95": round(
+                    quantile_from_buckets(self.bucket_counts, LATENCY_BUCKETS_MS, 0.95), 3
+                ),
+                "p99": round(
+                    quantile_from_buckets(self.bucket_counts, LATENCY_BUCKETS_MS, 0.99), 3
+                ),
+            },
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe collection of per-endpoint metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: dict[str, EndpointMetrics] = {}
+        self.reloads = 0
+
+    def observe(
+        self, endpoint: str, status: int, ms: float, cached: bool = False
+    ) -> None:
+        """Record one request against its route label."""
+        with self._lock:
+            metrics = self._endpoints.setdefault(endpoint, EndpointMetrics())
+            metrics.observe(status, ms, cached=cached)
+
+    def count_reload(self) -> None:
+        """Record one registry hot-reload."""
+        with self._lock:
+            self.reloads += 1
+
+    def snapshot(self) -> dict:
+        """All endpoints' metrics plus service-level counters."""
+        with self._lock:
+            return {
+                "reloads": self.reloads,
+                "endpoints": {
+                    name: metrics.snapshot()
+                    for name, metrics in sorted(self._endpoints.items())
+                },
+            }

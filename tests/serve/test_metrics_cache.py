@@ -1,0 +1,85 @@
+"""Unit tests for the metrics histogram and the LRU response cache."""
+
+from __future__ import annotations
+
+from repro.serve.cache import LRUCache
+from repro.serve.metrics import (
+    LATENCY_BUCKETS_MS,
+    EndpointMetrics,
+    MetricsRegistry,
+    quantile_from_buckets,
+)
+
+
+class TestQuantiles:
+    def test_empty_histogram_is_zero(self):
+        counts = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        assert quantile_from_buckets(counts, LATENCY_BUCKETS_MS, 0.5) == 0.0
+
+    def test_single_bucket_interpolates_within_it(self):
+        counts = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        counts[4] = 100  # the (2.5, 5.0] ms bucket
+        p50 = quantile_from_buckets(counts, LATENCY_BUCKETS_MS, 0.5)
+        assert 2.5 <= p50 <= 5.0
+
+    def test_quantiles_are_monotone(self):
+        metrics = EndpointMetrics()
+        for ms in (0.3, 0.7, 1.5, 3.0, 8.0, 20.0, 80.0, 400.0, 2000.0, 9000.0):
+            metrics.observe(200, ms)
+        snap = metrics.snapshot()["latency_ms"]
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+        assert snap["max"] == 9000.0
+
+    def test_overflow_bucket_reports_last_edge(self):
+        counts = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        counts[-1] = 10
+        assert (
+            quantile_from_buckets(counts, LATENCY_BUCKETS_MS, 0.99)
+            == LATENCY_BUCKETS_MS[-1]
+        )
+
+
+class TestEndpointMetrics:
+    def test_status_classes_counted(self):
+        metrics = EndpointMetrics()
+        metrics.observe(200, 1.0)
+        metrics.observe(404, 1.0)
+        metrics.observe(500, 1.0)
+        snap = metrics.snapshot()
+        assert snap["requests"] == 3
+        assert snap["errors_4xx"] == 1
+        assert snap["errors_5xx"] == 1
+
+    def test_registry_snapshot_sorted_and_threadsafe_shape(self):
+        registry = MetricsRegistry()
+        registry.observe("GET /b", 200, 1.0)
+        registry.observe("GET /a", 200, 1.0)
+        registry.count_reload()
+        snap = registry.snapshot()
+        assert list(snap["endpoints"]) == ["GET /a", "GET /b"]
+        assert snap["reloads"] == 1
+
+
+class TestLRUCache:
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(capacity=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_capacity_bound(self):
+        cache = LRUCache(capacity=3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3

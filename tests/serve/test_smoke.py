@@ -1,0 +1,199 @@
+"""End-to-end smoke test: real server, real sockets, tiny pipeline run.
+
+Boots the service on an ephemeral port against a store holding one
+corpus-only pipeline run, then exercises the acceptance loop from
+ISSUE 2: health, population, predict, ingest→anomalies, transport-level
+error handling (malformed JSON, oversized body), hot-reload after a new
+pipeline run, and `/metrics` reflecting the traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.pipeline import run_suite
+from repro.serve import create_app, create_server
+from repro.synth import SynthConfig
+
+from tests.serve.conftest import make_store
+
+
+@pytest.fixture(scope="module")
+def live(tmp_path_factory):
+    """(base_url, app, store) for a running server; torn down after."""
+    store = make_store(tmp_path_factory.mktemp("smoke-store"), users=800, seed=7)
+    app = create_app(store, poll_interval=0.0, max_body_bytes=64 * 1024)
+    server = create_server("127.0.0.1", 0, app, access_log_file=None)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.port}", app, store
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def http_get(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def http_post(base: str, path: str, obj=None, raw: bytes | None = None):
+    data = raw if raw is not None else json.dumps(obj).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def test_full_serving_loop(live):
+    base, app, store = live
+
+    # -- health --------------------------------------------------------
+    status, health = http_get(base, "/healthz")
+    assert status == 200 and health["status"] == "ok"
+    first_run_id = health["run_id"]
+
+    # -- population ----------------------------------------------------
+    status, population = http_get(base, "/v1/population?scale=national")
+    assert status == 200
+    assert len(population["areas"]) == 20
+    assert population["run_id"] == first_run_id
+
+    # -- predict -------------------------------------------------------
+    status, predicted = http_post(
+        base,
+        "/v1/predict",
+        {
+            "scale": "national",
+            "model": "gravity2",
+            "pairs": [
+                {"origin": "Sydney", "dest": "Melbourne"},
+                {"origin": "Perth", "dest": "Adelaide"},
+            ],
+        },
+    )
+    assert status == 200
+    assert len(predicted["predictions"]) == 2
+    assert all(p["flow"] > 0 for p in predicted["predictions"])
+
+    # -- ingest → anomalies round trip ---------------------------------
+    status, ingested = http_post(
+        base,
+        "/v1/ingest",
+        {
+            "tweets": [
+                {"user_id": 1, "timestamp": 1000.0, "lat": -33.8688, "lon": 151.2093},
+                {"user_id": 1, "timestamp": 2000.0, "lat": -37.8136, "lon": 144.9631},
+            ]
+        },
+    )
+    assert status == 200 and ingested["accepted"] == 2
+    status, anomalies = http_get(base, "/v1/anomalies")
+    assert status == 200
+    assert anomalies["stats"]["window_transitions"] == 1
+
+    # -- transport-level error handling --------------------------------
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        http_post(base, "/v1/predict", raw=b"{not json")
+    assert excinfo.value.code == 400
+    assert "malformed JSON" in json.loads(excinfo.value.read())["error"]["message"]
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        http_post(base, "/v1/ingest", raw=b"x" * (64 * 1024 + 1))
+    assert excinfo.value.code == 413
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        http_get(base, "/v1/population?scale=mars")
+    assert excinfo.value.code == 400
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        http_get(base, "/does/not/exist")
+    assert excinfo.value.code == 404
+
+    # -- hot reload after a new pipeline run ---------------------------
+    time.sleep(1.05)  # run ids have second resolution
+    run_suite(
+        config=SynthConfig(n_users=900, seed=8), store=store, targets=("corpus",)
+    )
+    status, reloaded = http_post(base, "/v1/reload", {})
+    assert status == 200 and reloaded["reloaded"] is True
+    status, health = http_get(base, "/healthz")
+    assert health["run_id"] != first_run_id
+    assert health["corpus_users"] == 900
+
+    # -- metrics reflect all of the above ------------------------------
+    status, metrics = http_get(base, "/metrics")
+    assert status == 200
+    endpoints = metrics["endpoints"]
+    assert endpoints["GET /healthz"]["requests"] >= 2
+    assert endpoints["POST /v1/predict"]["requests"] >= 2
+    assert endpoints["POST /v1/predict"]["errors_4xx"] >= 1
+    assert endpoints["POST /v1/ingest"]["errors_4xx"] >= 1  # the 413
+    assert endpoints["unmatched"]["requests"] >= 1
+    assert metrics["reloads"] >= 1
+    assert metrics["ingest"]["accepted"] == 2
+    p50 = endpoints["GET /healthz"]["latency_ms"]["p50"]
+    assert p50 > 0
+
+
+def test_concurrent_socket_traffic(live):
+    """Many client threads against the real server: all 200s."""
+    base, app, _store = live
+    errors: list = []
+
+    def worker(worker_id: int) -> None:
+        try:
+            for i in range(10):
+                http_get(base, "/v1/population?scale=state")
+                http_post(
+                    base,
+                    "/v1/predict",
+                    {"pairs": [{"origin": "Sydney", "dest": "Brisbane"}]},
+                )
+                http_post(
+                    base,
+                    "/v1/ingest",
+                    {
+                        "tweets": [
+                            {
+                                "user_id": worker_id,
+                                "timestamp": float(worker_id * 10_000 + i),
+                                "lat": -33.8688,
+                                "lon": 151.2093,
+                            }
+                        ]
+                    },
+                )
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(w,)) for w in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert errors == []
+
+
+def test_ephemeral_port_boot_and_drain(tmp_path):
+    """A fresh server boots, answers once, and drains cleanly."""
+    store = make_store(tmp_path, users=400, seed=11)
+    app = create_app(store, poll_interval=0.0)
+    server = create_server("127.0.0.1", 0, app, access_log_file=None)
+    thread = threading.Thread(target=server.serve_forever)
+    thread.start()
+    try:
+        status, health = http_get(f"http://127.0.0.1:{server.port}", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+    assert not thread.is_alive()

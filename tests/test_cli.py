@@ -154,3 +154,61 @@ class TestExperimentVariants:
         assert main(["experiment", "all", "--users", "2000", "--seed", "2"]) == 0
         out = capsys.readouterr().out
         assert "Table I" in out and "Table II" in out
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestCleanCorpusErrors:
+    """Missing/unreadable corpus CSVs fail with one message, no traceback."""
+
+    def test_stats_missing_file(self, capsys):
+        code = main(["stats", "/tmp/definitely-not-here.csv"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "corpus file not found" in err
+        assert "Traceback" not in err
+
+    def test_experiment_missing_file(self, capsys):
+        code = main(["experiment", "table1", "--corpus", "/tmp/nope-corpus.csv"])
+        assert code == 2
+        assert "corpus file not found" in capsys.readouterr().err
+
+    def test_health_missing_file(self, capsys):
+        code = main(["health", "/tmp/nope-corpus.csv"])
+        assert code == 2
+        assert "corpus file not found" in capsys.readouterr().err
+
+    def test_anonymize_missing_file(self, tmp_path, capsys):
+        code = main(
+            ["anonymize", "/tmp/nope-corpus.csv", "--out", str(tmp_path / "o.csv"),
+             "--key", "k"]
+        )
+        assert code == 2
+        assert "corpus file not found" in capsys.readouterr().err
+
+    def test_stats_on_directory(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path)])
+        assert code == 2
+        assert "directory" in capsys.readouterr().err
+
+    def test_stats_malformed_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("this,is,not\na,corpus,file\n")
+        code = main(["stats", str(bad)])
+        assert code == 2
+        assert "malformed corpus file" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_without_runs_fails_cleanly(self, tmp_path, capsys):
+        code = main(["serve", "--cache-dir", str(tmp_path), "--port", "0"])
+        assert code == 2
+        assert "no successful pipeline run" in capsys.readouterr().err
