@@ -14,9 +14,10 @@ Emits a JSON summary (stdout or ``--out``), e.g.::
     python benchmarks/bench_pipeline.py --users 25000 --jobs 4 --out p1.json
 
 The script asserts the acceptance guarantees while measuring: the warm
-run executes zero task bodies and is faster than the cold run, and the
+run executes zero task bodies and is faster than the cold run, the
 parallel run's corpus digest equals the serial run's (bit-identical
-sharded generation).
+sharded generation), and the observability hooks cost under 2% of the
+cold run when tracing is disabled (``disabled_overhead_pct``).
 """
 
 from __future__ import annotations
@@ -27,11 +28,15 @@ import sys
 import tempfile
 import time
 
+from repro import obs
 from repro.pipeline import ArtifactStore, run_suite
 from repro.synth import SynthConfig
 
 DEFAULT_USERS = 25_000
 DEFAULT_SEED = 20150413
+
+#: Acceptance ceiling for the cost of disabled observability hooks.
+MAX_DISABLED_OVERHEAD_PCT = 2.0
 
 
 def _timed_run(config: SynthConfig, store: ArtifactStore, jobs: int):
@@ -40,23 +45,83 @@ def _timed_run(config: SynthConfig, store: ArtifactStore, jobs: int):
     return time.perf_counter() - start, run
 
 
+class _ObsCallCounter:
+    """Counts ``obs.span`` / ``obs.counter`` invocations while active.
+
+    The shim adds one integer increment per call — orders of magnitude
+    below the cost it is there to tally — so the cold timing it wraps
+    stays representative.
+    """
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self._real_span = None
+        self._real_counter = None
+
+    def __enter__(self):
+        self._real_span = obs.span
+        self._real_counter = obs.counter
+
+        def counting_span(name, **attrs):
+            self.calls += 1
+            return self._real_span(name, **attrs)
+
+        def counting_counter(name, delta=1):
+            self.calls += 1
+            return self._real_counter(name, delta)
+
+        obs.span = counting_span
+        obs.counter = counting_counter
+        return self
+
+    def __exit__(self, *exc_info):
+        obs.span = self._real_span
+        obs.counter = self._real_counter
+        return False
+
+
+def _disabled_call_seconds(iterations: int = 100_000) -> float:
+    """Mean cost of one observability call with no tracer installed."""
+    previous = obs.install(None)
+    try:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            with obs.span("bench.noop"):
+                pass
+            obs.counter("bench.noop")
+        elapsed = time.perf_counter() - start
+    finally:
+        obs.install(previous)
+    return elapsed / (2 * iterations)
+
+
 def run_benchmark(users: int, seed: int, jobs: int, cache_dir: str) -> dict:
     """Cold vs warm vs parallel timings plus manifest-derived counters."""
     config = SynthConfig(n_users=users, seed=seed)
 
     cold_store = ArtifactStore(cache_dir + "/cold")
     cold_store.clear()
-    cold_seconds, cold = _timed_run(config, cold_store, jobs=1)
+    with _ObsCallCounter() as obs_calls:
+        cold_seconds, cold = _timed_run(config, cold_store, jobs=1)
     warm_seconds, warm = _timed_run(config, cold_store, jobs=1)
 
     parallel_store = ArtifactStore(cache_dir + "/parallel")
     parallel_store.clear()
     parallel_seconds, parallel = _timed_run(config, parallel_store, jobs=jobs)
 
+    per_call_seconds = _disabled_call_seconds()
+    overhead_pct = (
+        obs_calls.calls * per_call_seconds / max(cold_seconds, 1e-9) * 100.0
+    )
+
     assert warm.manifest.executed == 0, "warm run executed task bodies"
     assert warm_seconds < cold_seconds, "warm run not faster than cold"
     assert parallel.digests["corpus"] == cold.digests["corpus"], (
         "sharded corpus differs from serial corpus"
+    )
+    assert overhead_pct < MAX_DISABLED_OVERHEAD_PCT, (
+        f"disabled observability overhead {overhead_pct:.3f}% exceeds "
+        f"{MAX_DISABLED_OVERHEAD_PCT}%"
     )
 
     return {
@@ -74,6 +139,9 @@ def run_benchmark(users: int, seed: int, jobs: int, cache_dir: str) -> dict:
         "parallel_speedup": round(cold_seconds / max(parallel_seconds, 1e-9), 2),
         "corpus_digest": cold.digests["corpus"],
         "sharded_corpus_identical": True,
+        "obs_calls_cold_run": obs_calls.calls,
+        "disabled_obs_ns_per_call": round(per_call_seconds * 1e9, 1),
+        "disabled_overhead_pct": round(overhead_pct, 4),
     }
 
 
@@ -118,6 +186,8 @@ def test_pipeline_cold_warm_parallel(tmp_path):
     assert summary["warm_tasks_executed"] == 0
     assert summary["warm_seconds"] < summary["cold_seconds"]
     assert summary["sharded_corpus_identical"]
+    assert summary["obs_calls_cold_run"] > 0
+    assert summary["disabled_overhead_pct"] < MAX_DISABLED_OVERHEAD_PCT
 
 
 if __name__ == "__main__":

@@ -7,6 +7,9 @@ Usage (installed as ``repro`` or via ``python -m repro``)::
     repro experiment all --users 40000
     repro experiment table2 --corpus corpus.csv
     repro pipeline run --users 40000 --jobs 4
+    repro pipeline run --trace --profile
+    repro trace show latest
+    repro trace export latest --out pipeline.trace.json
     repro pipeline status
     repro pipeline clean
     repro serve --port 8000
@@ -126,6 +129,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--targets", nargs="*", default=None, metavar="TASK",
         help="run only these tasks (plus their dependencies)",
     )
+    prun.add_argument(
+        "--trace", action="store_true",
+        help="record a span trace into the run manifest "
+        "(view with 'repro trace show <run-id>')",
+    )
+    prun.add_argument(
+        "--profile", action="store_true",
+        help="profile each executed task (cProfile); reports land next "
+        "to the run manifest",
+    )
     pstatus = pipe_sub.add_parser(
         "status", help="per-task cache state for a configuration"
     )
@@ -135,6 +148,22 @@ def _build_parser() -> argparse.ArgumentParser:
     pstatus.add_argument("--cache-dir", help="artifact cache directory")
     pclean = pipe_sub.add_parser("clean", help="delete every cached artifact and run")
     pclean.add_argument("--cache-dir", help="artifact cache directory")
+
+    trace = sub.add_parser(
+        "trace", help="inspect span traces recorded by 'pipeline run --trace'"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    tshow = trace_sub.add_parser("show", help="render a run's span tree")
+    tshow.add_argument("run_id", help="run id, or 'latest' for the newest run")
+    tshow.add_argument("--cache-dir", help="artifact cache directory")
+    texport = trace_sub.add_parser(
+        "export", help="write a run's Chrome trace-event JSON"
+    )
+    texport.add_argument("run_id", help="run id, or 'latest' for the newest run")
+    texport.add_argument(
+        "--out", help="output path (default: <run-id>.trace.json)"
+    )
+    texport.add_argument("--cache-dir", help="artifact cache directory")
 
     serve = sub.add_parser(
         "serve", help="HTTP estimation service over the artifact cache"
@@ -372,6 +401,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             force=args.force,
             targets=targets,
+            trace=args.trace,
+            profile=args.profile,
         )
     except TaskFailure as failure:
         print(
@@ -397,6 +428,44 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     print(run.manifest.summary(), file=sys.stderr)
     manifest_path = store.runs_dir / run.manifest.run_id / "manifest.json"
     print(f"manifest: {manifest_path}", file=sys.stderr)
+    if args.trace:
+        print(
+            f"trace: repro trace show {run.manifest.run_id}", file=sys.stderr
+        )
+    return 0
+
+
+def _resolve_trace_run(store, run_id: str):
+    """A run's manifest by id (or 'latest'), failing with clean CLI errors."""
+    if run_id == "latest":
+        run_ids = store.run_ids()
+        if not run_ids:
+            raise CLIError(f"no recorded runs under {store.runs_dir}")
+        run_id = run_ids[-1]
+    manifest = store.load_run(run_id)
+    if manifest is None:
+        raise CLIError(f"no run {run_id!r} under {store.runs_dir}")
+    if not manifest.trace:
+        raise CLIError(
+            f"run {manifest.run_id} has no recorded trace; "
+            "re-run with 'repro pipeline run --trace'"
+        )
+    return manifest
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.pipeline import ArtifactStore
+
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
+    manifest = _resolve_trace_run(store, args.run_id)
+    if args.trace_command == "show":
+        print(f"run {manifest.run_id} — {len(manifest.trace)} spans")
+        print(obs.render_span_tree(manifest.trace))
+        return 0
+    out = args.out or f"{manifest.run_id}.trace.json"
+    path = obs.write_chrome_trace(manifest.trace, out, run_id=manifest.run_id)
+    print(f"wrote {len(manifest.trace)} spans to {path}")
     return 0
 
 
@@ -596,6 +665,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "experiment": _cmd_experiment,
         "pipeline": _cmd_pipeline,
+        "trace": _cmd_trace,
         "serve": _cmd_serve,
         "epidemic": _cmd_epidemic,
         "groundtruth": _cmd_groundtruth,

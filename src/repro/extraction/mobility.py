@@ -16,6 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.data.corpus import TweetCorpus
 from repro.data.gazetteer import Area
 from repro.geo.distance import pairwise_distance_matrix
@@ -72,6 +73,7 @@ class ODFlows:
         source, dest = np.nonzero(
             (self.matrix >= max(min_flow, 1)) & ~np.eye(n, dtype=bool)
         )
+        obs.counter("extraction.od_pairs_built", int(source.size))
         return ODPairs(
             source=source,
             dest=dest,
@@ -123,13 +125,19 @@ def extract_od_flows(
     n = len(areas)
     if area_labels.size and area_labels.max() >= n:
         raise ValueError("label index exceeds number of areas")
-    matrix = np.zeros((n, n), dtype=np.int64)
-    if len(corpus) >= 2:
-        same_user = corpus.user_ids[1:] == corpus.user_ids[:-1]
-        src = area_labels[:-1]
-        dst = area_labels[1:]
-        valid = same_user & (src >= 0) & (dst >= 0) & (src != dst)
-        np.add.at(matrix, (src[valid], dst[valid]), 1)
+    with obs.span("extract_od_flows", areas=n, tweets=len(corpus)) as sp:
+        matrix = np.zeros((n, n), dtype=np.int64)
+        transitions = 0
+        if len(corpus) >= 2:
+            same_user = corpus.user_ids[1:] == corpus.user_ids[:-1]
+            src = area_labels[:-1]
+            dst = area_labels[1:]
+            valid = same_user & (src >= 0) & (dst >= 0) & (src != dst)
+            np.add.at(matrix, (src[valid], dst[valid]), 1)
+            transitions = int(valid.sum())
+        sp.set(transitions=transitions)
+    obs.counter("extraction.tweets_scanned", len(corpus))
+    obs.counter("extraction.od_transitions", transitions)
     return ODFlows(areas=tuple(areas), matrix=matrix)
 
 

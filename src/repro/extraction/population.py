@@ -18,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.data.corpus import TweetCorpus
 from repro.data.gazetteer import Area
 from repro.geo.index import BruteForceIndex, GridIndex
@@ -75,18 +76,26 @@ def extract_area_observations(
         index = _build_index(corpus, use_grid=len(corpus) > 2000)
     if len(index) != len(corpus):
         raise ValueError("index was built over a different corpus")
-    observations = []
-    for area in areas:
-        result = index.query_radius(area.center, radius_km)
-        users_here = np.unique(corpus.user_ids[result.indices])
-        observations.append(
-            AreaObservation(
-                area=area,
-                radius_km=radius_km,
-                n_tweets=len(result),
-                n_users=int(users_here.size),
+    with obs.span(
+        "extract_area_observations", areas=len(areas), radius_km=radius_km
+    ) as sp:
+        observations = []
+        matched = 0
+        for area in areas:
+            result = index.query_radius(area.center, radius_km)
+            users_here = np.unique(corpus.user_ids[result.indices])
+            matched += len(result)
+            observations.append(
+                AreaObservation(
+                    area=area,
+                    radius_km=radius_km,
+                    n_tweets=len(result),
+                    n_users=int(users_here.size),
+                )
             )
-        )
+        sp.set(tweets_matched=matched)
+    obs.counter("extraction.tweets_scanned", len(corpus))
+    obs.counter("extraction.area_queries", len(areas))
     return observations
 
 
@@ -108,14 +117,20 @@ def assign_tweets_to_areas(
         index = _build_index(corpus, use_grid=len(corpus) > 2000)
     if len(index) != len(corpus):
         raise ValueError("index was built over a different corpus")
-    labels = np.full(len(corpus), -1, dtype=np.int64)
-    best_distance = np.full(len(corpus), np.inf, dtype=np.float64)
-    for area_index, area in enumerate(areas):
-        result = index.query_radius(area.center, radius_km)
-        closer = result.distances_km < best_distance[result.indices]
-        rows = result.indices[closer]
-        labels[rows] = area_index
-        best_distance[rows] = result.distances_km[closer]
+    with obs.span(
+        "assign_tweets_to_areas", areas=len(areas), radius_km=radius_km
+    ) as sp:
+        labels = np.full(len(corpus), -1, dtype=np.int64)
+        best_distance = np.full(len(corpus), np.inf, dtype=np.float64)
+        for area_index, area in enumerate(areas):
+            result = index.query_radius(area.center, radius_km)
+            closer = result.distances_km < best_distance[result.indices]
+            rows = result.indices[closer]
+            labels[rows] = area_index
+            best_distance[rows] = result.distances_km[closer]
+        sp.set(labelled=int((labels >= 0).sum()))
+    obs.counter("extraction.tweets_scanned", len(corpus))
+    obs.counter("extraction.area_queries", len(areas))
     return labels
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.extraction.mobility import ODPairs
 from repro.models.base import (
     FittedMobilityModel,
@@ -90,26 +91,29 @@ class GravityModel(MobilityModel):
             raise ModelFitError(
                 f"{self.name}: need >= {self.n_params} positive pairs, got {n_obs}"
             )
-        log_t = np.log(pairs.flow[keep])
-        log_m = np.log(pairs.m[keep])
-        log_n = np.log(pairs.n[keep])
-        log_d = np.log(pairs.d_km[keep])
-        if self.n_params == 4:
-            design = np.column_stack([np.ones(n_obs), log_m, log_n, log_d])
-            coef = fit_log_linear(design, log_t)
-            params = GravityParams(
-                alpha=float(coef[1]),
-                beta=float(coef[2]),
-                gamma=float(-coef[3]),
-                log_c=float(coef[0]),
-            )
-        else:
-            # log T - log(mn) = log C - γ log d
-            design = np.column_stack([np.ones(n_obs), log_d])
-            coef = fit_log_linear(design, log_t - log_m - log_n)
-            params = GravityParams(
-                alpha=1.0, beta=1.0, gamma=float(-coef[1]), log_c=float(coef[0])
-            )
+        with obs.span("fit.gravity", n_params=self.n_params, n_obs=n_obs):
+            log_t = np.log(pairs.flow[keep])
+            log_m = np.log(pairs.m[keep])
+            log_n = np.log(pairs.n[keep])
+            log_d = np.log(pairs.d_km[keep])
+            if self.n_params == 4:
+                design = np.column_stack([np.ones(n_obs), log_m, log_n, log_d])
+                coef = fit_log_linear(design, log_t)
+                params = GravityParams(
+                    alpha=float(coef[1]),
+                    beta=float(coef[2]),
+                    gamma=float(-coef[3]),
+                    log_c=float(coef[0]),
+                )
+            else:
+                # log T - log(mn) = log C - γ log d
+                design = np.column_stack([np.ones(n_obs), log_d])
+                coef = fit_log_linear(design, log_t - log_m - log_n)
+                params = GravityParams(
+                    alpha=1.0, beta=1.0, gamma=float(-coef[1]), log_c=float(coef[0])
+                )
+        obs.counter("models.gravity_fits")
+        obs.counter("models.fit_observations", n_obs)
         return FittedGravity(params, self.name)
 
 

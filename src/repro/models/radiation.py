@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.extraction.mobility import ODFlows, ODPairs
 from repro.models.base import (
     FittedMobilityModel,
@@ -103,7 +104,11 @@ class RadiationModel(MobilityModel):
     def __init__(self, populations: np.ndarray, distance_km: np.ndarray) -> None:
         self.populations = np.asarray(populations, dtype=np.float64)
         self.distance_km = np.asarray(distance_km, dtype=np.float64)
-        self._s_matrix = intervening_population_matrix(self.populations, self.distance_km)
+        with obs.span("radiation.s_matrix", areas=int(self.populations.size)):
+            self._s_matrix = intervening_population_matrix(
+                self.populations, self.distance_km
+            )
+        obs.counter("models.radiation_s_rows", int(self.populations.size))
 
     @classmethod
     def from_flows(cls, flows: ODFlows) -> "RadiationModel":
@@ -124,9 +129,15 @@ class RadiationModel(MobilityModel):
         keep = positive_pairs_mask(pairs)
         if not keep.any():
             raise ModelFitError("Radiation: no positive pairs to fit C on")
-        s = self._s_matrix[pairs.source[keep], pairs.dest[keep]]
-        base = radiation_base(pairs.m[keep], pairs.n[keep], s)
-        if np.any(base <= 0):
-            raise ModelFitError("Radiation: degenerate kernel value (zero mass pair)")
-        log_c = fit_log_scale(np.log(pairs.flow[keep]), np.log(base))
+        n_obs = int(keep.sum())
+        with obs.span("fit.radiation", n_obs=n_obs):
+            s = self._s_matrix[pairs.source[keep], pairs.dest[keep]]
+            base = radiation_base(pairs.m[keep], pairs.n[keep], s)
+            if np.any(base <= 0):
+                raise ModelFitError(
+                    "Radiation: degenerate kernel value (zero mass pair)"
+                )
+            log_c = fit_log_scale(np.log(pairs.flow[keep]), np.log(base))
+        obs.counter("models.radiation_fits")
+        obs.counter("models.fit_observations", n_obs)
         return FittedRadiation(self._s_matrix, log_c)

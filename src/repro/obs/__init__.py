@@ -1,0 +1,76 @@
+"""Unified observability: trace spans, structured logs, profiling hooks.
+
+One substrate for "what did the system just do, and where did the time
+go" across the offline pipeline and the online service:
+
+``tracer``
+    Nestable :class:`Span` trees with wall *and* CPU time, a per-run
+    :class:`Tracer`, the module-level :func:`span` / :func:`counter`
+    helpers instrumented code embeds, and span-id handoff so traces
+    survive the pipeline's process pool.  Disabled by default with a
+    near-zero no-op path.
+``logs``
+    One-line JSON records with thread-local correlation fields
+    (``run_id`` / ``task_id`` / ``request_id``) via
+    :meth:`StructuredLogger.bind`; stderr by default, never stdout.
+``profile``
+    Opt-in cProfile + tracemalloc around a task or request, reduced to
+    a plain-data top-N hotspot report.
+``export``
+    Chrome trace-event JSON (loadable in ``chrome://tracing``) and a
+    plain-text span-tree renderer — what ``repro trace show`` prints.
+
+Typical pipeline wiring (what ``repro pipeline run --trace`` does)::
+
+    from repro import obs
+
+    tracer = obs.Tracer(run_id=run_id)
+    previous = obs.install(tracer)
+    try:
+        with obs.span("pipeline.run", jobs=jobs):
+            ...  # instrumented code nests spans automatically
+    finally:
+        obs.install(previous)
+    manifest.trace = tracer.to_dicts()
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    render_span_tree,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.logs import StructuredLogger, get_logger
+from repro.obs.profile import ProfileReport, profiled, write_profile
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    counter,
+    counters_snapshot,
+    current,
+    enabled,
+    install,
+    reset_counters,
+    span,
+)
+
+__all__ = [
+    "ProfileReport",
+    "Span",
+    "StructuredLogger",
+    "Tracer",
+    "chrome_trace_events",
+    "counter",
+    "counters_snapshot",
+    "current",
+    "enabled",
+    "get_logger",
+    "install",
+    "profiled",
+    "render_span_tree",
+    "reset_counters",
+    "span",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_profile",
+]

@@ -1,0 +1,134 @@
+"""Opt-in profiling hooks: cProfile hotspots and tracemalloc peaks.
+
+:func:`profiled` wraps one region — a pipeline task body or a served
+request — and produces a :class:`ProfileReport` with the top-N functions
+by cumulative time (and, optionally, the top allocation sites).  Reports
+are plain data, so the pipeline drops them next to the run manifest and
+the serving layer can write one per slow request.
+
+Profiling is strictly opt-in (``repro pipeline run --profile``,
+``repro serve --profile-dir``): cProfile costs 2–5x on tight Python
+loops, so it never runs by default.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+
+@dataclass
+class ProfileReport:
+    """Top hotspots of one profiled region, as plain data."""
+
+    name: str
+    total_seconds: float = 0.0
+    total_calls: int = 0
+    hotspots: list[dict] = field(default_factory=list)
+    memory_top: list[dict] = field(default_factory=list)
+    peak_memory_kb: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe form."""
+        return {
+            "name": self.name,
+            "total_seconds": round(self.total_seconds, 6),
+            "total_calls": self.total_calls,
+            "hotspots": self.hotspots,
+            "memory_top": self.memory_top,
+            "peak_memory_kb": round(self.peak_memory_kb, 1),
+        }
+
+    def render(self) -> str:
+        """Human-readable top table (one line per hotspot)."""
+        lines = [
+            f"profile {self.name}: {self.total_seconds:.3f}s, "
+            f"{self.total_calls} calls"
+        ]
+        for row in self.hotspots:
+            lines.append(
+                f"  {row['cumtime']:8.3f}s cum  {row['tottime']:8.3f}s self  "
+                f"{row['ncalls']:>8} calls  {row['func']}"
+            )
+        if self.peak_memory_kb:
+            lines.append(f"  peak traced memory: {self.peak_memory_kb:.0f} KiB")
+        return "\n".join(lines)
+
+
+class _Holder:
+    """Mutable result slot yielded by :func:`profiled`."""
+
+    report: ProfileReport | None = None
+
+
+def _function_label(func: tuple) -> str:
+    filename, lineno, name = func
+    if filename == "~":
+        return name  # builtins
+    return f"{Path(filename).name}:{lineno}:{name}"
+
+
+@contextmanager
+def profiled(name: str, top_n: int = 20, memory: bool = False) -> Iterator[_Holder]:
+    """Profile the enclosed block; ``holder.report`` is set on exit.
+
+    ``memory=True`` additionally runs tracemalloc and reports the top
+    allocation sites plus the traced peak.  Nesting ``profiled`` blocks
+    is not supported (cProfile is process-global).
+    """
+    holder = _Holder()
+    tracing_memory = memory and not tracemalloc.is_tracing()
+    if tracing_memory:
+        tracemalloc.start()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield holder
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        rows = []
+        for func, (cc, nc, tottime, cumtime, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+            rows.append(
+                {
+                    "func": _function_label(func),
+                    "ncalls": nc,
+                    "tottime": round(tottime, 6),
+                    "cumtime": round(cumtime, 6),
+                }
+            )
+        rows.sort(key=lambda r: r["cumtime"], reverse=True)
+        report = ProfileReport(
+            name=name,
+            total_seconds=stats.total_tt,  # type: ignore[attr-defined]
+            total_calls=stats.total_calls,  # type: ignore[attr-defined]
+            hotspots=rows[:top_n],
+        )
+        if tracing_memory:
+            snapshot = tracemalloc.take_snapshot()
+            _current, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            report.peak_memory_kb = peak / 1024.0
+            report.memory_top = [
+                {
+                    "site": f"{Path(s.traceback[0].filename).name}:{s.traceback[0].lineno}",
+                    "size_kb": round(s.size / 1024.0, 1),
+                    "count": s.count,
+                }
+                for s in snapshot.statistics("lineno")[:top_n]
+            ]
+        holder.report = report
+
+
+def write_profile(report: ProfileReport, path: str | Path) -> Path:
+    """Write one report as pretty JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8")
+    return path

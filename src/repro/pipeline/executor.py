@@ -11,6 +11,18 @@ the output and hands the new digest back — artifacts always travel via
 the content-addressed store, never through the pickle channel twice.
 
 Every run writes a provenance manifest under ``<cache-dir>/runs/``.
+
+Observability: with ``trace=True`` the executor installs a fresh
+:class:`~repro.obs.tracer.Tracer` for the run, wraps every task (hits
+included) in a span, and persists the span tree in the manifest's
+``trace`` field.  Spans cross the process pool by id handoff: the
+coordinator passes the root span id inside the worker payload, the
+worker records its spans under that foreign parent and returns them as
+plain dicts for the coordinator to adopt.  ``profile=True`` wraps each
+executed body in cProfile and drops a top-N hotspot JSON next to the
+manifest.  Pool-level failures (startup, submission) are never silent:
+they land in the manifest's ``error`` field and raise
+:class:`TaskFailure` so callers exit non-zero.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+from repro import obs
 from repro.pipeline.graph import Pipeline
 from repro.pipeline.manifest import (
     STATUS_FAILED,
@@ -31,6 +44,8 @@ from repro.pipeline.manifest import (
 )
 from repro.pipeline.store import ArtifactStore
 from repro.pipeline.task import Task, TaskContext, TaskFailure
+
+_log = obs.get_logger("repro.pipeline")
 
 
 @dataclass
@@ -51,18 +66,47 @@ class RunResult:
 
 
 def _worker_execute(
-    store_root: str, task: Task, upstream: dict[str, str], key: str, jobs: int
-) -> tuple[str, float]:
-    """Run one task body inside a pool worker; returns (digest, seconds)."""
-    store = ArtifactStore(store_root)
-    inputs = {dep: store.get(digest) for dep, digest in upstream.items()}
-    ctx = TaskContext(params=task.params, inputs=inputs, jobs=jobs)
-    start = time.perf_counter()
-    output = task.fn(ctx)
-    seconds = time.perf_counter() - start
-    digest = store.put(output)
-    store.record_key(key, digest, {"task": task.name, "seconds": seconds})
-    return digest, seconds
+    store_root: str,
+    task: Task,
+    upstream: dict[str, str],
+    key: str,
+    jobs: int,
+    run_id: str = "",
+    trace_parent: str | None = None,
+    profile: bool = False,
+) -> tuple[str, float, list[dict], dict | None]:
+    """Run one task body inside a pool worker.
+
+    Returns ``(digest, seconds, spans, profile_report)``.  ``spans`` is
+    non-empty only when the coordinator traced the run: the worker opens
+    its task span under the handed-off ``trace_parent`` id so the
+    coordinator's tree stays connected across the process boundary.
+    """
+    tracer = obs.Tracer(run_id=run_id) if trace_parent is not None else None
+    previous = obs.install(tracer) if tracer is not None else None
+    profile_report: dict | None = None
+    try:
+        store = ArtifactStore(store_root)
+        inputs = {dep: store.get(digest) for dep, digest in upstream.items()}
+        ctx = TaskContext(params=task.params, inputs=inputs, jobs=jobs)
+        start = time.perf_counter()
+        with obs.span(
+            f"task:{task.name}", parent_id=trace_parent, status="run", where="worker"
+        ):
+            if profile:
+                with obs.profiled(f"task:{task.name}") as prof:
+                    output = task.fn(ctx)
+                profile_report = prof.report.to_dict() if prof.report else None
+            else:
+                output = task.fn(ctx)
+        seconds = time.perf_counter() - start
+        digest = store.put(output)
+        store.record_key(key, digest, {"task": task.name, "seconds": seconds})
+        spans = tracer.to_dicts() if tracer is not None else []
+        return digest, seconds, spans, profile_report
+    finally:
+        if tracer is not None:
+            obs.install(previous)
 
 
 class Executor:
@@ -80,6 +124,13 @@ class Executor:
     force:
         Ignore existing cache entries and re-run every task body
         (outputs are still written back to the store).
+    trace:
+        Record a span per task (hits included) plus every span the
+        instrumented extraction/model code opens underneath, and
+        persist the tree in the run manifest.
+    profile:
+        Wrap each executed task body in cProfile and write a
+        ``profile-<task>.json`` hotspot report into the run directory.
     """
 
     def __init__(
@@ -87,12 +138,16 @@ class Executor:
         store: ArtifactStore | None = None,
         jobs: int = 1,
         force: bool = False,
+        trace: bool = False,
+        profile: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.store = store if store is not None else ArtifactStore()
         self.jobs = jobs
         self.force = force
+        self.trace = trace
+        self.profile = profile
 
     def run(
         self, pipeline: Pipeline, targets: Iterable[str] | None = None
@@ -100,7 +155,9 @@ class Executor:
         """Execute (or cache-resolve) every task needed for ``targets``.
 
         Raises :class:`TaskFailure` naming the first failing task; the
-        manifest (including the failure record) is written either way.
+        manifest (including the failure record, the run-level ``error``
+        for failures outside any task body, and the trace when enabled)
+        is written either way.
         """
         pipeline.validate()
         order = pipeline.topological_order(targets)
@@ -110,18 +167,39 @@ class Executor:
             cache_dir=str(self.store.root),
             targets=sorted(pipeline.required(targets)),
         )
+        tracer = obs.Tracer(run_id=manifest.run_id) if self.trace else None
+        previous_tracer = obs.install(tracer) if tracer is not None else None
+        self._profiles: dict[str, dict] = {}
         digests: dict[str, str] = {}
         loaded: dict[str, Any] = {}
         started = time.perf_counter()
         try:
-            if self.jobs == 1:
-                for task in order:
-                    self._resolve_serial(task, digests, loaded, manifest)
-            else:
-                self._run_parallel(order, digests, loaded, manifest)
+            with _log.bind(run_id=manifest.run_id):
+                with obs.span("pipeline.run", jobs=self.jobs) as root:
+                    root.set(tasks=len(order))
+                    if self.jobs == 1:
+                        for task in order:
+                            self._resolve_serial(task, digests, loaded, manifest)
+                    else:
+                        self._run_parallel(order, digests, loaded, manifest)
+        except BaseException as exc:
+            # Failures that never reached a task record (pool startup,
+            # submission) must still be visible in the audit trail.
+            if manifest.failed is None and manifest.error is None:
+                manifest.error = repr(exc)
+            raise
         finally:
             manifest.total_seconds = time.perf_counter() - started
-            manifest.write(self.store.runs_dir / manifest.run_id)
+            if tracer is not None:
+                obs.install(previous_tracer)
+                manifest.trace = tracer.to_dicts()
+            run_dir = self.store.runs_dir / manifest.run_id
+            manifest.write(run_dir)
+            for task_name, report in self._profiles.items():
+                obs.write_profile(
+                    obs.ProfileReport(**_profile_kwargs(report)),
+                    run_dir / f"profile-{task_name}.json",
+                )
         return RunResult(
             manifest=manifest, digests=digests, store=self.store, _loaded=loaded
         )
@@ -138,6 +216,8 @@ class Executor:
         key = task.cache_key(digests)
         cached = None if self.force else self.store.lookup(key)
         if cached is not None:
+            with obs.span(f"task:{task.name}", status="hit"):
+                pass
             digests[task.name] = cached
             manifest.record(
                 TaskRecord(task.name, STATUS_HIT, cache_key=key, digest=cached)
@@ -162,7 +242,17 @@ class Executor:
         ctx = TaskContext(params=task.params, inputs=inputs, jobs=self.jobs)
         start = time.perf_counter()
         try:
-            output = task.fn(ctx)
+            with _log.bind(task_id=task.name):
+                if self.trace:
+                    _log.debug("task_started", where="parent")
+                with obs.span(f"task:{task.name}", status="run", where="parent"):
+                    if self.profile:
+                        with obs.profiled(f"task:{task.name}") as prof:
+                            output = task.fn(ctx)
+                        if prof.report is not None:
+                            self._profiles[task.name] = prof.report.to_dict()
+                    else:
+                        output = task.fn(ctx)
         except Exception as exc:
             manifest.record(
                 TaskRecord(
@@ -184,6 +274,9 @@ class Executor:
                 task.name, STATUS_RUN, cache_key=key, digest=digest, seconds=seconds
             )
         )
+        if self.trace:
+            with _log.bind(task_id=task.name):
+                _log.debug("task_finished", seconds=round(seconds, 3))
 
     # -- parallel path -------------------------------------------------
 
@@ -196,7 +289,14 @@ class Executor:
     ) -> None:
         pending = {task.name: task for task in order}
         running: dict[Any, tuple[Task, str]] = {}
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+        tracer = obs.current()
+        trace_parent = tracer.current_span_id() if tracer is not None else None
+        try:
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
+        except Exception as exc:
+            manifest.error = f"worker pool failed to start: {exc!r}"
+            raise TaskFailure(next(iter(pending), "<pool>"), exc) from exc
+        with pool:
             while pending or running:
                 # Launch (or cache-resolve) every task whose deps are done.
                 progressed = True
@@ -211,6 +311,8 @@ class Executor:
                         key = task.cache_key(digests)
                         cached = None if self.force else self.store.lookup(key)
                         if cached is not None:
+                            with obs.span(f"task:{name}", status="hit"):
+                                pass
                             digests[name] = cached
                             manifest.record(
                                 TaskRecord(
@@ -225,14 +327,38 @@ class Executor:
                             )
                         else:
                             upstream = {dep: digests[dep] for dep in task.deps}
-                            future = pool.submit(
-                                _worker_execute,
-                                str(self.store.root),
-                                task,
-                                upstream,
-                                key,
-                                self.jobs,
-                            )
+                            try:
+                                future = pool.submit(
+                                    _worker_execute,
+                                    str(self.store.root),
+                                    task,
+                                    upstream,
+                                    key,
+                                    self.jobs,
+                                    manifest.run_id,
+                                    trace_parent,
+                                    self.profile,
+                                )
+                            except Exception as exc:
+                                # Submission failures (broken pool, an
+                                # unpicklable task) must not fall back to
+                                # anything silently: record and fail.
+                                manifest.record(
+                                    TaskRecord(
+                                        name,
+                                        STATUS_FAILED,
+                                        cache_key=key,
+                                        where="submit",
+                                        error=repr(exc),
+                                    )
+                                )
+                                manifest.error = (
+                                    f"worker pool submission failed for task "
+                                    f"{name!r}: {exc!r}"
+                                )
+                                for other in running:
+                                    other.cancel()
+                                raise TaskFailure(name, exc) from exc
                             running[future] = (task, key)
                 if not running:
                     continue
@@ -240,7 +366,7 @@ class Executor:
                 for future in done:
                     task, key = running.pop(future)
                     try:
-                        digest, seconds = future.result()
+                        digest, seconds, spans, profile_report = future.result()
                     except Exception as exc:
                         manifest.record(
                             TaskRecord(
@@ -254,6 +380,10 @@ class Executor:
                         for other in running:
                             other.cancel()
                         raise TaskFailure(task.name, exc) from exc
+                    if tracer is not None and spans:
+                        tracer.adopt(spans)
+                    if profile_report is not None:
+                        self._profiles[task.name] = profile_report
                     digests[task.name] = digest
                     manifest.record(
                         TaskRecord(
@@ -265,3 +395,16 @@ class Executor:
                             where="worker",
                         )
                     )
+
+
+def _profile_kwargs(report: dict) -> dict:
+    """Filter a profile dict down to ProfileReport's constructor args."""
+    keys = (
+        "name",
+        "total_seconds",
+        "total_calls",
+        "hotspots",
+        "memory_top",
+        "peak_memory_kb",
+    )
+    return {k: report[k] for k in keys if k in report}

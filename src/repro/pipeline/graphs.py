@@ -189,14 +189,18 @@ def run_suite(
     jobs: int = 1,
     force: bool = False,
     targets: tuple[str, ...] | None = None,
+    trace: bool = False,
+    profile: bool = False,
 ) -> tuple[ExperimentSuiteResult | None, RunResult]:
     """Run (or cache-resolve) the suite; returns (suite, run provenance).
 
     The first element is ``None`` when ``targets`` excludes part of the
-    suite — use :meth:`RunResult.artifact` for partial runs.
+    suite — use :meth:`RunResult.artifact` for partial runs.  ``trace``
+    records a span tree into the run manifest; ``profile`` writes
+    per-task cProfile hotspot reports into the run directory.
     """
     pipeline = suite_pipeline(config=config, corpus_path=corpus_path)
-    executor = Executor(store=store, jobs=jobs, force=force)
+    executor = Executor(store=store, jobs=jobs, force=force, trace=trace, profile=profile)
     run = executor.run(pipeline, targets=targets)
     if targets is not None and set(ARTEFACT_TASKS) - run.digests.keys():
         return None, run

@@ -6,6 +6,13 @@ or the cache served it, the cache key and artifact digest involved, and
 wall-clock seconds.  Manifests are the audit trail for the caching
 guarantees: a warm re-run of an unchanged config shows every task as a
 ``hit`` with zero executed bodies.
+
+A traced run (``repro pipeline run --trace``) additionally lands its
+span tree in the manifest's ``trace`` field — plain span dicts from
+:mod:`repro.obs.tracer`, renderable with ``repro trace show <run-id>``
+or exportable as Chrome trace-event JSON.  Run-level failures that never
+reach a task body (worker-pool startup, submission errors) surface in
+the ``error`` field so no failure mode is silent in the audit trail.
 """
 
 from __future__ import annotations
@@ -43,6 +50,11 @@ class RunManifest:
     targets: list[str] = field(default_factory=list)
     total_seconds: float = 0.0
     records: list[TaskRecord] = field(default_factory=list)
+    #: Span dicts recorded when the run was traced (empty otherwise).
+    trace: list[dict] = field(default_factory=list)
+    #: Run-level error that never reached a task record (pool startup,
+    #: task submission); ``None`` for clean runs.
+    error: str | None = None
 
     def record(self, record: TaskRecord) -> None:
         """Append one task record."""
@@ -66,6 +78,11 @@ class RunManifest:
                 return record.name
         return None
 
+    @property
+    def ok(self) -> bool:
+        """Whether the run finished with no task or run-level failure."""
+        return self.failed is None and self.error is None
+
     def to_dict(self) -> dict:
         """Plain-data form, ready for ``json.dump``."""
         return {
@@ -76,7 +93,9 @@ class RunManifest:
             "total_seconds": self.total_seconds,
             "hits": self.hits,
             "executed": self.executed,
+            "error": self.error,
             "records": [asdict(r) for r in self.records],
+            "trace": list(self.trace),
         }
 
     @classmethod
@@ -101,6 +120,8 @@ class RunManifest:
             targets=list(data.get("targets", [])),
             total_seconds=data.get("total_seconds", 0.0),
             records=records,
+            trace=list(data.get("trace", [])),
+            error=data.get("error"),
         )
 
     @classmethod
@@ -141,4 +162,8 @@ class RunManifest:
             f"  total {self.total_seconds:.2f}s — {self.executed} executed, "
             f"{self.hits} cache hits (jobs={self.jobs})"
         )
+        if self.error is not None:
+            lines.append(f"  run error: {self.error}")
+        if self.trace:
+            lines.append(f"  trace: {len(self.trace)} spans recorded")
         return "\n".join(lines)

@@ -143,15 +143,15 @@ class ArtifactStore:
     def latest_successful_run(self, required: tuple[str, ...] = ("corpus",)):
         """The newest run whose ``required`` artifacts are all servable.
 
-        A run qualifies when it recorded no failed task, bound a digest
-        to every name in ``required``, and each of those objects is
-        still present on disk (a ``clean`` may have removed them).
-        Returns the :class:`RunManifest`, or ``None`` when no run
-        qualifies — the serving registry's snapshot source.
+        A run qualifies when it recorded no failed task and no run-level
+        error, bound a digest to every name in ``required``, and each of
+        those objects is still present on disk (a ``clean`` may have
+        removed them).  Returns the :class:`RunManifest`, or ``None``
+        when no run qualifies — the serving registry's snapshot source.
         """
         for run_id in reversed(self.run_ids()):
             manifest = self.load_run(run_id)
-            if manifest is None or manifest.failed is not None:
+            if manifest is None or not manifest.ok:
                 continue
             digests = [manifest.digest_of(name) for name in required]
             if all(d is not None and self.has_object(d) for d in digests):

@@ -10,6 +10,18 @@ responses and emits one structured JSON access-log line per request.
 configured to *drain* in-flight requests on shutdown (non-daemon handler
 threads joined by ``server_close``).
 
+Every request carries a ``request_id`` — taken from an incoming
+``X-Request-Id`` header or generated — which is echoed in the response
+header, attached to the structured access-log record, recorded against
+the metrics ring buffers and stamped on the request's trace span, so one
+id correlates a request across all three surfaces.
+
+Consistency: each handler resolves the registry snapshot exactly once
+(via :meth:`EstimationApp._resolve_scale`) and derives *everything* in
+the response — scale data, ``run_id``, ``corpus_digest`` — from that one
+object, so a concurrent hot-reload can never produce a response mixing
+two snapshots.
+
 Endpoints
 ---------
 ========  =====================  ==========================================
@@ -34,19 +46,27 @@ import signal
 import sys
 import threading
 import time
+import uuid
+from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
 from urllib.parse import parse_qsl, urlsplit
 
 import numpy as np
 
+from repro import obs
 from repro.data.gazetteer import Scale, areas_for_scale, search_radius_km
 from repro.data.schema import SchemaError
 from repro.pipeline.store import ArtifactStore
 from repro.serve.cache import LRUCache
 from repro.serve.ingest import IngestService
 from repro.serve.metrics import MetricsRegistry
-from repro.serve.registry import MODEL_KEYS, ModelRegistry, ScaleSnapshot
+from repro.serve.registry import (
+    MODEL_KEYS,
+    ModelRegistry,
+    ScaleSnapshot,
+    Snapshot,
+)
 
 #: Endpoints whose responses are pure functions of (URL, snapshot) and
 #: therefore safe to serve from the LRU response cache.
@@ -85,12 +105,15 @@ class EstimationApp:
         metrics: MetricsRegistry | None = None,
         cache_capacity: int = 256,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        profile_requests: bool = False,
     ) -> None:
         self.registry = registry
         self.ingest = ingest
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = LRUCache(cache_capacity)
         self.max_body_bytes = max_body_bytes
+        self.profile_requests = profile_requests
+        self._profile_reports: deque[dict] = deque(maxlen=16)
         self.started_at = time.time()
         self._routes: dict[tuple[str, str], Callable] = {
             ("GET", "/healthz"): self._handle_healthz,
@@ -112,13 +135,34 @@ class EstimationApp:
         return "unmatched"
 
     def handle(
-        self, method: str, path: str, query: dict, body: dict | None
+        self,
+        method: str,
+        path: str,
+        query: dict,
+        body: dict | None,
+        request_id: str = "",
     ) -> tuple[int, dict, bool]:
         """Dispatch one request; returns ``(status, payload, cache_hit)``.
 
         Never raises: every failure is rendered as a JSON error payload
-        with the appropriate status code.
+        with the appropriate status code.  When a tracer is installed the
+        whole dispatch runs inside a ``serve.request`` span carrying the
+        request_id, so slow requests show up in the trace with their
+        correlation id attached.
         """
+        with obs.span(
+            "serve.request", method=method, path=path, request_id=request_id
+        ) as sp:
+            status, payload, cache_hit = self._handle_inner(
+                method, path, query, body
+            )
+            sp.set(status=status, cached=cache_hit)
+        obs.counter("serve.requests")
+        return status, payload, cache_hit
+
+    def _handle_inner(
+        self, method: str, path: str, query: dict, body: dict | None
+    ) -> tuple[int, dict, bool]:
         handler = self._routes.get((method, path))
         if handler is None:
             if any(p == path for (_m, p) in self._routes):
@@ -150,7 +194,12 @@ class EstimationApp:
                 return status, payload, True
 
         try:
-            status, payload = handler(query, body)
+            if self.profile_requests:
+                with obs.profiled(label, top_n=10) as prof:
+                    status, payload = handler(query, body)
+                self._profile_reports.append(prof.report.to_dict())
+            else:
+                status, payload = handler(query, body)
         except ApiError as exc:
             return exc.status, _error_payload(exc.status, exc.message), False
         except Exception as exc:  # defensive: never leak a traceback
@@ -161,8 +210,14 @@ class EstimationApp:
 
     # -- helpers -------------------------------------------------------
 
-    def _snapshot_scale(self, query: dict) -> ScaleSnapshot:
-        """The scale snapshot a request addresses (default national)."""
+    def _resolve_scale(self, query: dict) -> tuple[Snapshot, ScaleSnapshot]:
+        """Resolve the snapshot *once* and the scale a request addresses.
+
+        Handlers must derive every response field (run_id, corpus digest,
+        scale data) from the returned pair — never re-read
+        ``self.registry.snapshot``, which a concurrent hot-reload may
+        have swapped between the two reads.
+        """
         try:
             snapshot = self.registry.snapshot
         except Exception as exc:
@@ -172,7 +227,7 @@ class EstimationApp:
         if scale is None:
             known = [s.value for s in Scale]
             raise ApiError(400, f"unknown scale {name!r}; expected one of {known}")
-        return scale
+        return snapshot, scale
 
     @staticmethod
     def _require_body(body: dict | None) -> dict:
@@ -204,28 +259,30 @@ class EstimationApp:
             "misses": self.cache.misses,
         }
         payload["ingest"] = self.ingest.stats()
+        if self.profile_requests:
+            payload["request_profiles"] = list(self._profile_reports)
         return 200, payload
 
     def _handle_population(self, query: dict, body: dict | None) -> tuple[int, dict]:
-        scale = self._snapshot_scale(query)
+        snapshot, scale = self._resolve_scale(query)
         areas = [
             {
-                "name": obs.area.name,
-                "census_population": obs.census_population,
-                "twitter_population": obs.n_users,
-                "tweets": obs.n_tweets,
+                "name": observation.area.name,
+                "census_population": observation.census_population,
+                "twitter_population": observation.n_users,
+                "tweets": observation.n_tweets,
             }
-            for obs in scale.observations
+            for observation in scale.observations
         ]
         return 200, {
             "scale": scale.scale.value,
             "radius_km": scale.radius_km,
-            "run_id": self.registry.snapshot.run_id,
+            "run_id": snapshot.run_id,
             "areas": areas,
         }
 
     def _handle_flows(self, query: dict, body: dict | None) -> tuple[int, dict]:
-        scale = self._snapshot_scale(query)
+        snapshot, scale = self._resolve_scale(query)
         matrix = scale.flows.matrix
         origin = query.get("origin")
         dest = query.get("dest")
@@ -254,14 +311,14 @@ class EstimationApp:
         ]
         return 200, {
             "scale": scale.scale.value,
-            "run_id": self.registry.snapshot.run_id,
+            "run_id": snapshot.run_id,
             "total_trips": scale.flows.total_trips,
             "flows": flows,
         }
 
     def _handle_predict(self, query: dict, body: dict | None) -> tuple[int, dict]:
         body = self._require_body(body)
-        scale = self._snapshot_scale(
+        snapshot, scale = self._resolve_scale(
             {"scale": body.get("scale", Scale.NATIONAL.value)}
         )
         model_key = body.get("model", "gravity2")
@@ -298,10 +355,12 @@ class EstimationApp:
             sources[position] = i
             dests[position] = j
         predicted = scale.predict_pairs(model_key, sources, dests)
+        obs.counter("serve.predictions", len(raw_pairs))
         return 200, {
             "scale": scale.scale.value,
             "model": model_key,
-            "run_id": self.registry.snapshot.run_id,
+            "run_id": snapshot.run_id,
+            "corpus_digest": snapshot.corpus_digest,
             "predictions": [
                 {
                     "origin": scale.areas[int(i)].name,
@@ -386,6 +445,7 @@ class RequestHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         started = time.perf_counter()
+        request_id = self.headers.get("X-Request-Id") or uuid.uuid4().hex[:16]
         split = urlsplit(self.path)
         path = split.path.rstrip("/") or "/"
         query = dict(parse_qsl(split.query))
@@ -397,11 +457,16 @@ class RequestHandler(BaseHTTPRequestHandler):
             self.close_connection = True
             self._finish(
                 method, path, exc.status, _error_payload(exc.status, exc.message),
-                started, cached=False,
+                started, cached=False, request_id=request_id,
             )
             return
-        status, payload, cached = self.app.handle(method, path, query, body)
-        self._finish(method, path, status, payload, started, cached=cached)
+        status, payload, cached = self.app.handle(
+            method, path, query, body, request_id=request_id
+        )
+        self._finish(
+            method, path, status, payload, started, cached=cached,
+            request_id=request_id,
+        )
 
     def _read_json_body(self, method: str) -> dict | None:
         if method != "POST":
@@ -441,37 +506,47 @@ class RequestHandler(BaseHTTPRequestHandler):
         payload: dict,
         started: float,
         cached: bool,
+        request_id: str = "",
     ) -> None:
         data = json.dumps(payload).encode("utf-8")
         try:
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(data)))
+            if request_id:
+                self.send_header("X-Request-Id", request_id)
             self.end_headers()
             self.wfile.write(data)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away; still account for the request
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         self.app.metrics.observe(
-            self.app.route_label(method, path), status, elapsed_ms, cached=cached
+            self.app.route_label(method, path), status, elapsed_ms,
+            cached=cached, request_id=request_id,
         )
-        self._access_log(method, path, status, elapsed_ms, cached)
+        self._access_log(method, path, status, elapsed_ms, cached, request_id)
 
     def _access_log(
-        self, method: str, path: str, status: int, ms: float, cached: bool
+        self,
+        method: str,
+        path: str,
+        status: int,
+        ms: float,
+        cached: bool,
+        request_id: str,
     ) -> None:
-        record = {
-            "ts": round(time.time(), 3),
-            "method": method,
-            "path": path,
-            "status": status,
-            "ms": round(ms, 3),
-            "cached": cached,
-            "client": self.client_address[0],
-        }
-        log_file = getattr(self.server, "access_log_file", None)  # type: ignore[attr-defined]
-        if log_file is not None:
-            print(json.dumps(record), file=log_file, flush=True)
+        logger = getattr(self.server, "access_logger", None)  # type: ignore[attr-defined]
+        if logger is not None:
+            logger.info(
+                "request",
+                request_id=request_id,
+                method=method,
+                path=path,
+                status=status,
+                ms=round(ms, 3),
+                cached=cached,
+                client=self.client_address[0],
+            )
 
     def log_message(self, format: str, *args) -> None:
         """Silence http.server's default stderr lines (we emit JSON)."""
@@ -489,6 +564,11 @@ class EstimationServer(ThreadingHTTPServer):
         super().__init__(address, RequestHandler)
         self.app = app
         self.access_log_file = access_log_file
+        self.access_logger = (
+            obs.StructuredLogger("repro.serve.access", stream=access_log_file)
+            if access_log_file is not None
+            else None
+        )
 
     @property
     def port(self) -> int:
@@ -504,6 +584,7 @@ def create_app(
     cache_capacity: int = 256,
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     preload: bool = True,
+    profile_requests: bool = False,
 ) -> EstimationApp:
     """Wire registry + ingest + metrics into an app over one store.
 
@@ -523,6 +604,7 @@ def create_app(
         ingest,
         cache_capacity=cache_capacity,
         max_body_bytes=max_body_bytes,
+        profile_requests=profile_requests,
     )
 
 

@@ -6,6 +6,14 @@ The estimation service records every handled request into a
 log-spaced millisecond buckets, from which p50/p95/p99 are interpolated;
 the exposed snapshot is what ``GET /metrics`` serialises.
 
+Request correlation: every observation carries the request's
+``request_id`` (the same id the structured access log emits), and the
+registry keeps two bounded ring buffers — the most recent requests and
+the slowest-threshold offenders — so an id seen in the log can be found
+in ``/metrics`` too.  The snapshot also folds in the process-global
+:mod:`repro.obs` counters, putting pipeline/extraction/model counters
+behind the same endpoint as the HTTP histograms.
+
 Everything is guarded by one registry-wide lock: observations are a few
 integer increments, so contention is negligible next to request I/O.
 """
@@ -13,7 +21,11 @@ integer increments, so contention is negligible next to request I/O.
 from __future__ import annotations
 
 import threading
+import time
+from collections import deque
 from dataclasses import dataclass, field
+
+from repro import obs
 
 #: Upper edges (milliseconds) of the latency histogram buckets.  The
 #: final implicit bucket is +inf.
@@ -108,20 +120,49 @@ class EndpointMetrics:
 
 
 class MetricsRegistry:
-    """Thread-safe collection of per-endpoint metrics."""
+    """Thread-safe collection of per-endpoint metrics.
 
-    def __init__(self) -> None:
+    ``slow_ms`` is the latency threshold above which a request is kept
+    in the ``slow_requests`` ring buffer (with its request_id) for
+    after-the-fact inspection via ``/metrics``.
+    """
+
+    def __init__(
+        self,
+        slow_ms: float = 100.0,
+        recent_capacity: int = 64,
+        slow_capacity: int = 64,
+    ) -> None:
         self._lock = threading.Lock()
         self._endpoints: dict[str, EndpointMetrics] = {}
         self.reloads = 0
+        self.slow_ms = float(slow_ms)
+        self._recent: deque[dict] = deque(maxlen=recent_capacity)
+        self._slow: deque[dict] = deque(maxlen=slow_capacity)
 
     def observe(
-        self, endpoint: str, status: int, ms: float, cached: bool = False
+        self,
+        endpoint: str,
+        status: int,
+        ms: float,
+        cached: bool = False,
+        request_id: str = "",
     ) -> None:
         """Record one request against its route label."""
+        entry = {
+            "request_id": request_id,
+            "endpoint": endpoint,
+            "status": status,
+            "ms": round(ms, 3),
+            "cached": cached,
+            "ts": round(time.time(), 3),
+        }
         with self._lock:
             metrics = self._endpoints.setdefault(endpoint, EndpointMetrics())
             metrics.observe(status, ms, cached=cached)
+            self._recent.append(entry)
+            if ms >= self.slow_ms:
+                self._slow.append(entry)
 
     def count_reload(self) -> None:
         """Record one registry hot-reload."""
@@ -129,7 +170,7 @@ class MetricsRegistry:
             self.reloads += 1
 
     def snapshot(self) -> dict:
-        """All endpoints' metrics plus service-level counters."""
+        """All endpoints' metrics plus service-level and obs counters."""
         with self._lock:
             return {
                 "reloads": self.reloads,
@@ -137,4 +178,10 @@ class MetricsRegistry:
                     name: metrics.snapshot()
                     for name, metrics in sorted(self._endpoints.items())
                 },
+                "recent_requests": list(self._recent),
+                "slow_requests": {
+                    "threshold_ms": self.slow_ms,
+                    "requests": list(self._slow),
+                },
+                "counters": obs.counters_snapshot(),
             }

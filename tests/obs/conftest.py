@@ -1,0 +1,21 @@
+"""Isolation for the observability tests.
+
+The tracer install point and the counter map are process-global, so
+every test here runs against a clean slate and restores whatever was
+installed before it ran.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    previous = obs.install(None)
+    obs.reset_counters()
+    yield
+    obs.install(previous)
+    obs.reset_counters()

@@ -1,0 +1,78 @@
+"""Exporter tests: Chrome trace schema and the plain-text span tree."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+
+
+def _spans() -> list[dict]:
+    tracer = obs.Tracer("run-x")
+    with tracer.span("root", jobs=2):
+        with tracer.span("child-a", areas=20):
+            pass
+        with tracer.span("child-b"):
+            pass
+    return tracer.to_dicts()
+
+
+class TestChromeTrace:
+    def test_events_pass_schema_validation(self):
+        trace = obs.chrome_trace_events(_spans(), run_id="run-x")
+        assert obs.validate_chrome_trace(trace) == []
+        assert trace["otherData"]["run_id"] == "run-x"
+
+    def test_timestamps_relative_to_earliest_span(self):
+        trace = obs.chrome_trace_events(_spans())
+        ts = [e["ts"] for e in trace["traceEvents"]]
+        assert min(ts) == 0.0
+        assert all(t >= 0 for t in ts)
+
+    def test_args_carry_span_identity_and_attrs(self):
+        trace = obs.chrome_trace_events(_spans())
+        by_name = {e["name"]: e for e in trace["traceEvents"]}
+        child = by_name["child-a"]
+        assert child["args"]["areas"] == 20
+        assert child["args"]["parent_id"] == by_name["root"]["args"]["span_id"]
+        assert "cpu_ms" in child["args"]
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        path = obs.write_chrome_trace(_spans(), tmp_path / "t.json", run_id="r")
+        loaded = json.loads(path.read_text())
+        assert obs.validate_chrome_trace(loaded) == []
+
+    def test_validator_flags_broken_events(self):
+        assert obs.validate_chrome_trace([]) != []
+        assert obs.validate_chrome_trace({"traceEvents": "nope"}) != []
+        errors = obs.validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"name": 7, "ph": "X", "ts": -1.0, "dur": 0.0, "pid": 1, "tid": 1},
+                    {"ph": "Z", "ts": 0.0, "dur": -2.0, "pid": "x", "tid": 1},
+                ]
+            }
+        )
+        joined = "\n".join(errors)
+        assert "name" in joined
+        assert "negative" in joined
+        assert "phase" in joined
+
+
+class TestSpanTree:
+    def test_tree_nests_children_under_parent(self):
+        text = obs.render_span_tree(_spans())
+        lines = text.splitlines()
+        assert "root" in lines[1]
+        assert any("├─ child-a" in line for line in lines)
+        assert any("└─ child-b" in line for line in lines)
+
+    def test_orphan_parent_renders_as_root(self):
+        spans = _spans()
+        child_only = [s for s in spans if s["name"] != "root"]
+        text = obs.render_span_tree(child_only)
+        assert "child-a" in text and "child-b" in text
+        assert "├─" not in text  # both promoted to roots
+
+    def test_empty_trace_is_explicit(self):
+        assert "no spans" in obs.render_span_tree([])

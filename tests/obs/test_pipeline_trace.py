@@ -1,0 +1,130 @@
+"""End-to-end tracing through the pipeline executor.
+
+The acceptance bar for the observability layer: a traced run records a
+span tree covering *every* DAG task with wall/CPU timings, survives the
+process-pool handoff, persists into the run manifest, renders as a tree
+and exports as schema-valid Chrome trace JSON.  Cache hits and profiled
+runs are covered too.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.pipeline import ArtifactStore, run_suite
+from repro.synth import SynthConfig
+
+CONFIG = SynthConfig(n_users=2_000, seed=424242)
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    store = ArtifactStore(tmp_path_factory.mktemp("trace-store"))
+    suite, run = run_suite(config=CONFIG, store=store, jobs=2, trace=True)
+    assert suite is not None
+    return store, run
+
+
+class TestTracedRun:
+    def test_every_task_has_a_span(self, traced_run):
+        _store, run = traced_run
+        task_names = {record.name for record in run.manifest.records}
+        span_names = {s["name"] for s in run.manifest.trace}
+        missing = {f"task:{name}" for name in task_names} - span_names
+        assert not missing, f"tasks without spans: {missing}"
+
+    def test_task_spans_parent_to_the_run_root(self, traced_run):
+        _store, run = traced_run
+        spans = run.manifest.trace
+        roots = [s for s in spans if s["name"] == "pipeline.run"]
+        assert len(roots) == 1
+        root_id = roots[0]["span_id"]
+        for span in spans:
+            if span["name"].startswith("task:"):
+                assert span["parent_id"] == root_id
+
+    def test_span_ids_are_unique(self, traced_run):
+        _store, run = traced_run
+        ids = [s["span_id"] for s in run.manifest.trace]
+        assert len(ids) == len(set(ids))
+
+    def test_spans_carry_timings(self, traced_run):
+        _store, run = traced_run
+        for span in run.manifest.trace:
+            assert span["wall_s"] >= 0.0
+            assert span["cpu_s"] >= 0.0
+            assert span["pid"] > 0
+
+    def test_worker_spans_crossed_the_pool(self, traced_run):
+        _store, run = traced_run
+        worker_tasks = {
+            r.name for r in run.manifest.records if r.where == "worker"
+        }
+        if not worker_tasks:
+            pytest.skip("every task ran in the parent this time")
+        by_name = {
+            s["name"]: s for s in run.manifest.trace if s["name"].startswith("task:")
+        }
+        parent_pid = next(
+            s["pid"] for s in run.manifest.trace if s["name"] == "pipeline.run"
+        )
+        assert any(
+            by_name[f"task:{name}"]["pid"] != parent_pid for name in worker_tasks
+        )
+
+    def test_trace_persists_in_manifest_json(self, traced_run):
+        store, run = traced_run
+        reloaded = store.load_run(run.manifest.run_id)
+        assert reloaded is not None
+        assert len(reloaded.trace) == len(run.manifest.trace)
+
+    def test_trace_exports_and_renders(self, traced_run, tmp_path):
+        _store, run = traced_run
+        trace = obs.chrome_trace_events(run.manifest.trace, run.manifest.run_id)
+        assert obs.validate_chrome_trace(trace) == []
+        path = obs.write_chrome_trace(run.manifest.trace, tmp_path / "t.json")
+        assert obs.validate_chrome_trace(json.loads(path.read_text())) == []
+        tree = obs.render_span_tree(run.manifest.trace)
+        for record in run.manifest.records:
+            assert f"task:{record.name}" in tree
+
+    def test_tracer_uninstalled_after_run(self, traced_run):
+        assert obs.current() is None
+
+
+class TestWarmAndUntracedRuns:
+    def test_cache_hits_recorded_as_zero_cost_spans(self, traced_run):
+        store, _run = traced_run
+        _suite, warm = run_suite(config=CONFIG, store=store, jobs=1, trace=True)
+        assert warm.manifest.executed == 0
+        hit_spans = [
+            s
+            for s in warm.manifest.trace
+            if s["name"].startswith("task:")
+            and s.get("attrs", {}).get("status") == "hit"
+        ]
+        assert len(hit_spans) == len(warm.manifest.records)
+
+    def test_untraced_run_records_no_spans(self, traced_run):
+        store, _run = traced_run
+        _suite, run = run_suite(config=CONFIG, store=store, jobs=1)
+        assert run.manifest.trace == []
+
+
+def test_profiled_run_writes_reports_next_to_manifest(tmp_path):
+    store = ArtifactStore(tmp_path / "profile-store")
+    _suite, run = run_suite(
+        config=SynthConfig(n_users=500, seed=7),
+        store=store,
+        targets=("corpus",),
+        profile=True,
+    )
+    run_dir = store.runs_dir / run.manifest.run_id
+    reports = sorted(run_dir.glob("profile-*.json"))
+    assert reports, f"no profile reports in {run_dir}"
+    data = json.loads(reports[0].read_text())
+    assert data["total_calls"] > 0
+    assert data["hotspots"]

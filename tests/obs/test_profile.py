@@ -1,0 +1,60 @@
+"""Profiling hook tests: hotspot reports, memory mode, persistence."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+
+
+def _burn():
+    return sum(i * i for i in range(20_000))
+
+
+class TestProfiled:
+    def test_report_carries_hotspots(self):
+        with obs.profiled("region", top_n=5) as prof:
+            _burn()
+        report = prof.report
+        assert report is not None
+        assert report.name == "region"
+        assert report.total_calls > 0
+        assert 0 < len(report.hotspots) <= 5
+        # Sorted by cumulative time, descending.
+        cumtimes = [row["cumtime"] for row in report.hotspots]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+        assert any("_burn" in row["func"] for row in report.hotspots)
+
+    def test_report_set_even_when_block_raises(self):
+        try:
+            with obs.profiled("boom") as prof:
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert prof.report is not None
+
+    def test_memory_mode_reports_peak_and_sites(self):
+        with obs.profiled("mem", memory=True) as prof:
+            blob = [bytes(4096) for _ in range(200)]
+        del blob
+        report = prof.report
+        assert report.peak_memory_kb > 0
+        assert report.memory_top
+        assert {"site", "size_kb", "count"} <= set(report.memory_top[0])
+
+    def test_render_mentions_name_and_hotspots(self):
+        with obs.profiled("pretty") as prof:
+            _burn()
+        text = prof.report.render()
+        assert "pretty" in text
+        assert "cum" in text
+
+
+def test_write_profile_round_trips_json(tmp_path):
+    with obs.profiled("disk") as prof:
+        _burn()
+    path = obs.write_profile(prof.report, tmp_path / "p" / "profile.json")
+    data = json.loads(path.read_text())
+    assert data["name"] == "disk"
+    assert data["total_calls"] == prof.report.total_calls
+    assert isinstance(data["hotspots"], list)

@@ -1,0 +1,139 @@
+"""Tracer unit tests: nesting, timing, handoff, disabled path, counters."""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro import obs
+from repro.obs.tracer import _NULL_SPAN
+
+
+class TestSpanLifecycle:
+    def test_span_records_wall_and_cpu_time(self):
+        tracer = obs.Tracer("run-1")
+        with tracer.span("work"):
+            t_end = time.perf_counter() + 0.02
+            while time.perf_counter() < t_end:
+                pass  # busy-wait so CPU time accrues too
+        (span,) = tracer.finished_spans()
+        assert span.name == "work"
+        assert span.wall_s >= 0.02
+        assert span.cpu_s > 0.0
+        assert span.pid == os.getpid()
+
+    def test_nesting_links_parent_and_child(self):
+        tracer = obs.Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_attrs_via_kwargs_and_set(self):
+        tracer = obs.Tracer()
+        with tracer.span("t", areas=20) as sp:
+            sp.set(matched=7)
+        (span,) = tracer.finished_spans()
+        assert span.attrs == {"areas": 20, "matched": 7}
+
+    def test_exception_recorded_and_reraised(self):
+        tracer = obs.Tracer()
+        try:
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("exception swallowed")
+        (span,) = tracer.finished_spans()
+        assert "ValueError" in span.attrs["error"]
+
+    def test_span_ids_unique_across_tracers_in_one_process(self):
+        # Pool workers build a fresh Tracer per task; ids must not
+        # restart, or merged traces get colliding span ids.
+        ids = set()
+        for _ in range(3):
+            tracer = obs.Tracer()
+            with tracer.span("t"):
+                pass
+            ids.add(tracer.finished_spans()[0].span_id)
+        assert len(ids) == 3
+
+    def test_round_trip_to_dict_from_dict(self):
+        tracer = obs.Tracer()
+        with tracer.span("t", k="v"):
+            pass
+        (original,) = tracer.finished_spans()
+        rebuilt = obs.Span.from_dict(original.to_dict())
+        assert rebuilt == original
+
+
+class TestHandoff:
+    def test_explicit_parent_id_grafts_under_foreign_span(self):
+        tracer = obs.Tracer()
+        with tracer.span("child", parent_id="dead.beef") as sp:
+            pass
+        assert sp.parent_id == "dead.beef"
+
+    def test_set_thread_parent_is_ambient_default(self):
+        tracer = obs.Tracer()
+        tracer.set_thread_parent("abc.1")
+        with tracer.span("child") as sp:
+            pass
+        assert sp.parent_id == "abc.1"
+
+    def test_adopt_merges_foreign_span_dicts(self):
+        coordinator = obs.Tracer()
+        worker = obs.Tracer()
+        with worker.span("remote"):
+            pass
+        coordinator.adopt(worker.to_dicts())
+        names = [s.name for s in coordinator.finished_spans()]
+        assert names == ["remote"]
+
+    def test_threads_nest_independently(self):
+        tracer = obs.Tracer()
+        seen = {}
+
+        def run(tag):
+            with tracer.span(f"root-{tag}") as root:
+                with tracer.span(f"leaf-{tag}") as leaf:
+                    seen[tag] = (root.span_id, leaf.parent_id)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for root_id, leaf_parent in seen.values():
+            assert leaf_parent == root_id
+
+
+class TestModuleLevel:
+    def test_disabled_span_is_shared_noop(self):
+        assert obs.current() is None
+        assert not obs.enabled()
+        sp = obs.span("anything", x=1)
+        assert sp is _NULL_SPAN
+        with sp as inner:
+            inner.set(y=2)  # must be a no-op, not an error
+
+    def test_install_routes_spans_and_returns_previous(self):
+        tracer = obs.Tracer("r")
+        assert obs.install(tracer) is None
+        try:
+            with obs.span("routed"):
+                pass
+        finally:
+            assert obs.install(None) is tracer
+        assert [s.name for s in tracer.finished_spans()] == ["routed"]
+
+    def test_counters_accumulate_and_reset(self):
+        obs.counter("x", 3)
+        obs.counter("x", 2)
+        obs.counter("y")
+        assert obs.counters_snapshot() == {"x": 5, "y": 1}
+        obs.reset_counters()
+        assert obs.counters_snapshot() == {}

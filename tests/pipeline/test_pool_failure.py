@@ -1,0 +1,171 @@
+"""Worker-pool failures must be loud: no silent serial fallback.
+
+Regression tests for the failure modes of ``--jobs N``: a task the pool
+cannot pickle, a worker body that raises, a pool that fails to start,
+and a broken submission queue.  Every path must (a) raise
+:class:`TaskFailure` so the CLI exits non-zero, (b) record the failure
+in the run manifest — a failed task record and/or the run-level
+``error`` — and (c) leave the run non-servable
+(``latest_successful_run`` skips it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import executor as executor_mod
+from repro.pipeline.executor import Executor
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.manifest import RunManifest
+from repro.pipeline.store import ArtifactStore
+from repro.pipeline.task import Task, TaskContext, TaskFailure
+
+
+def _ok(ctx: TaskContext):
+    return ctx.params["value"]
+
+
+def _boom(ctx: TaskContext):
+    raise RuntimeError("kapow")
+
+
+def _latest_manifest(store: ArtifactStore) -> RunManifest:
+    manifest = store.load_run(store.run_ids()[-1])
+    assert manifest is not None
+    return manifest
+
+
+class TestUnpicklableTask:
+    """A lambda task can't cross the pool; the run fails, never falls back."""
+
+    def pipeline(self) -> Pipeline:
+        poisoned = Task("poisoned", lambda ctx: 42, deps=("ok",))
+        return Pipeline([Task("ok", _ok, params={"value": 1}), poisoned])
+
+    def test_raises_task_failure(self, tmp_path):
+        executor = Executor(store=ArtifactStore(tmp_path), jobs=2)
+        with pytest.raises(TaskFailure) as excinfo:
+            executor.run(self.pipeline())
+        assert excinfo.value.task_name == "poisoned"
+
+    def test_manifest_records_the_failure(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(TaskFailure):
+            Executor(store=store, jobs=2).run(self.pipeline())
+        manifest = _latest_manifest(store)
+        assert not manifest.ok
+        (failed,) = [r for r in manifest.records if r.status == "failed"]
+        assert failed.name == "poisoned"
+        assert failed.error
+
+    def test_failed_run_is_not_servable(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(TaskFailure):
+            Executor(store=store, jobs=2).run(self.pipeline())
+        assert store.latest_successful_run(required=("ok",)) is None
+
+    def test_healthy_upstream_still_cached(self, tmp_path):
+        # The upstream task completed before the poisoned one failed; its
+        # artifact must remain reusable by the next (fixed) run.
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(TaskFailure):
+            Executor(store=store, jobs=2).run(self.pipeline())
+        healthy = Pipeline([Task("ok", _ok, params={"value": 1})])
+        result = Executor(store=store, jobs=1).run(healthy)
+        assert result.manifest.hits == 1
+
+
+class TestWorkerBodyFailure:
+    """A body raising inside the pool is attributed to its task."""
+
+    def pipeline(self) -> Pipeline:
+        return Pipeline(
+            [Task("ok", _ok, params={"value": 1}), Task("boom", _boom, deps=("ok",))]
+        )
+
+    def test_raises_with_cause(self, tmp_path):
+        executor = Executor(store=ArtifactStore(tmp_path), jobs=2)
+        with pytest.raises(TaskFailure) as excinfo:
+            executor.run(self.pipeline())
+        assert excinfo.value.task_name == "boom"
+        assert "kapow" in repr(excinfo.value.cause)
+
+    def test_manifest_attributes_failure_to_worker(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(TaskFailure):
+            Executor(store=store, jobs=2).run(self.pipeline())
+        manifest = _latest_manifest(store)
+        (failed,) = [r for r in manifest.records if r.status == "failed"]
+        assert failed.name == "boom"
+        assert failed.where == "worker"
+        assert "kapow" in failed.error
+        assert not manifest.ok
+        assert store.latest_successful_run(required=("ok",)) is None
+
+
+class _PoolWontStart:
+    """Stand-in for ProcessPoolExecutor whose constructor raises."""
+
+    def __init__(self, max_workers=None):
+        raise OSError("out of processes")
+
+
+class _PoolSubmitBroken:
+    """Pool that starts fine but rejects every submission."""
+
+    def __init__(self, max_workers=None):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def submit(self, fn, *args):
+        raise RuntimeError("submission queue closed")
+
+
+def _solo_pipeline() -> Pipeline:
+    return Pipeline([Task("solo", _ok, params={"value": 5})])
+
+
+class TestPoolStartupFailure:
+    def test_startup_failure_surfaces_in_manifest(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", _PoolWontStart)
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(TaskFailure) as excinfo:
+            Executor(store=store, jobs=2).run(_solo_pipeline())
+        assert isinstance(excinfo.value.cause, OSError)
+        manifest = _latest_manifest(store)
+        assert manifest.error is not None
+        assert manifest.error.startswith("worker pool failed to start")
+        assert not manifest.ok
+        assert store.latest_successful_run(required=("solo",)) is None
+
+
+class TestSubmissionFailure:
+    def test_submit_failure_records_task_and_run_error(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", _PoolSubmitBroken)
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(TaskFailure) as excinfo:
+            Executor(store=store, jobs=2).run(_solo_pipeline())
+        assert excinfo.value.task_name == "solo"
+        manifest = _latest_manifest(store)
+        (failed,) = [r for r in manifest.records if r.status == "failed"]
+        assert failed.name == "solo"
+        assert failed.where == "submit"
+        assert "submission queue closed" in failed.error
+        assert manifest.error is not None
+        assert "submission failed" in manifest.error
+        assert not manifest.ok
+
+
+def test_manifest_ok_reflects_run_level_error():
+    manifest = RunManifest(run_id="r", jobs=1, cache_dir="x")
+    assert manifest.ok
+    manifest.error = "worker pool failed to start"
+    assert not manifest.ok
+    round_tripped = RunManifest.from_dict(manifest.to_dict())
+    assert round_tripped.error == manifest.error
+    assert not round_tripped.ok

@@ -1,0 +1,149 @@
+"""Golden regression test: pinned Table I / Fig 3 / Table II outputs.
+
+The qualitative experiment tests assert *directions* (gravity beats
+radiation, correlations are strong); this suite pins the *exact
+numbers* the default synthetic seed produces, so an innocent-looking
+refactor of extraction, fitting or statistics code that shifts any
+published figure fails loudly instead of drifting silently.
+
+The expected values live in ``tests/golden/golden_small.json``.  If a
+change intentionally alters results (new corpus model, fixed formula),
+regenerate the file with the snippet in :func:`_regenerate` and say so
+in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.data.gazetteer import Scale
+from repro.experiments import ExperimentContext, run_fig3, run_table1, run_table2
+from repro.synth import SynthConfig, generate_corpus
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_small.json"
+
+#: Exact for integers; floats tolerate only numerical noise (BLAS
+#: reduction order may differ across platforms, nothing larger).
+RTOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def results(golden):
+    config = golden["config"]
+    corpus = generate_corpus(
+        SynthConfig(n_users=config["n_users"], seed=config["seed"])
+    ).corpus
+    context = ExperimentContext(corpus)
+    return {
+        "table1": run_table1(corpus),
+        "fig3": run_fig3(context),
+        "table2": run_table2(context),
+    }
+
+
+class TestTable1Golden:
+    def test_corpus_counts_exact(self, golden, results):
+        stats = results["table1"].stats
+        expected = golden["table1"]
+        assert stats.n_tweets == expected["n_tweets"]
+        assert stats.n_users == expected["n_users"]
+
+    def test_per_user_averages(self, golden, results):
+        stats = results["table1"].stats
+        expected = golden["table1"]
+        assert stats.avg_tweets_per_user == pytest.approx(
+            expected["avg_tweets_per_user"], rel=RTOL
+        )
+        assert stats.avg_waiting_time_hours == pytest.approx(
+            expected["avg_waiting_time_hours"], rel=RTOL
+        )
+        assert stats.avg_locations_per_user == pytest.approx(
+            expected["avg_locations_per_user"], rel=RTOL
+        )
+
+    def test_activity_buckets_exact(self, golden, results):
+        buckets = {
+            str(k): v for k, v in results["table1"].activity_buckets.items()
+        }
+        assert buckets == golden["table1"]["activity_buckets"]
+
+
+class TestFig3Golden:
+    def test_overall_correlation(self, golden, results):
+        assert results["fig3"].overall.r == pytest.approx(
+            golden["fig3"]["overall_r"], rel=RTOL
+        )
+
+    def test_per_scale_correlation_and_rescale(self, golden, results):
+        per_scale = results["fig3"].per_scale
+        for scale_name, expected in golden["fig3"]["per_scale"].items():
+            result = per_scale[Scale(scale_name)]
+            assert result.correlation.r == pytest.approx(
+                expected["r"], rel=RTOL
+            ), scale_name
+            assert result.rescale_factor == pytest.approx(
+                expected["rescale_factor"], rel=RTOL
+            ), scale_name
+
+
+class TestTable2Golden:
+    def test_every_cell_pinned(self, golden, results):
+        cells = results["table2"].cells
+        expected_cells = golden["table2"]
+        assert len(cells) == len(expected_cells)
+        for key, expected in expected_cells.items():
+            scale_name, model = key.split("|")
+            pearson_r, rate = cells[(Scale(scale_name), model)]
+            assert pearson_r == pytest.approx(expected["pearson"], rel=RTOL), key
+            assert rate == pytest.approx(expected["hit_rate"], rel=RTOL), key
+
+
+def _regenerate() -> None:  # pragma: no cover - maintenance helper
+    """Rebuild the golden file after an *intentional* behaviour change.
+
+    Run with ``PYTHONPATH=src python -c
+    "from tests.test_golden import _regenerate; _regenerate()"``.
+    """
+    config = SynthConfig(n_users=4000, seed=20150413)
+    corpus = generate_corpus(config).corpus
+    context = ExperimentContext(corpus)
+    table1 = run_table1(corpus)
+    fig3 = run_fig3(context)
+    table2 = run_table2(context)
+    stats = table1.stats
+    golden = {
+        "config": {"n_users": config.n_users, "seed": config.seed},
+        "table1": {
+            "n_tweets": stats.n_tweets,
+            "n_users": stats.n_users,
+            "avg_tweets_per_user": stats.avg_tweets_per_user,
+            "avg_waiting_time_hours": stats.avg_waiting_time_hours,
+            "avg_locations_per_user": stats.avg_locations_per_user,
+            "activity_buckets": {
+                str(k): v for k, v in table1.activity_buckets.items()
+            },
+        },
+        "fig3": {
+            "overall_r": fig3.overall.r,
+            "per_scale": {
+                scale.value: {
+                    "r": result.correlation.r,
+                    "rescale_factor": result.rescale_factor,
+                }
+                for scale, result in fig3.per_scale.items()
+            },
+        },
+        "table2": {
+            f"{scale.value}|{model}": {"pearson": p, "hit_rate": h}
+            for (scale, model), (p, h) in table2.cells.items()
+        },
+    }
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2) + "\n")

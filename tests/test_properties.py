@@ -1,0 +1,260 @@
+"""Property-based invariants for the geo/stats/model kernels.
+
+Two layers of the same properties:
+
+* **Seeded random sweeps** — always run, no third-party dependency.
+  Each property is checked over many randomised inputs drawn from a
+  fixed-seed generator, so failures reproduce exactly.
+* **Hypothesis** — when the ``hypothesis`` package is importable, the
+  same properties run again under generative shrinking search, which is
+  far better at cornering edge cases (antipodes, near-duplicates,
+  degenerate variance).
+
+Properties covered: haversine symmetry / identity / triangle inequality,
+Pearson invariance under affine rescaling, HitRate@50% bounds, gravity
+and radiation predictions staying non-negative, and the radiation
+kernel's row-sum normalisation (each origin emits at most its whole
+outflow probability mass).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.extraction.mobility import ODPairs
+from repro.geo.distance import EARTH_RADIUS_KM, haversine_km
+from repro.models.gravity import GravityModel
+from repro.models.radiation import (
+    RadiationModel,
+    intervening_population_matrix,
+    radiation_base,
+)
+from repro.stats.correlation import pearson
+from repro.stats.metrics import hit_rate
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAS_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised on minimal installs
+    HAS_HYPOTHESIS = False
+
+RNG = np.random.default_rng(20150413)
+SWEEP = 200
+
+#: Half the Earth's circumference — no great-circle distance exceeds it.
+MAX_DISTANCE_KM = np.pi * EARTH_RADIUS_KM
+
+
+def random_point(rng) -> tuple[float, float]:
+    return (float(rng.uniform(-90, 90)), float(rng.uniform(-180, 180)))
+
+
+def random_area_system(rng, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Random planar area system: positive populations, metric distances."""
+    points = rng.uniform(0.0, 1000.0, size=(n, 2))
+    deltas = points[:, None, :] - points[None, :, :]
+    distances = np.sqrt((deltas**2).sum(axis=-1))
+    populations = rng.uniform(1e3, 5e6, size=n)
+    return populations, distances
+
+
+def synthetic_pairs(rng, n_areas: int = 12) -> tuple[ODPairs, np.ndarray, np.ndarray]:
+    """All off-diagonal pairs of a random area system, with random flows."""
+    populations, distances = random_area_system(rng, n_areas)
+    source, dest = np.nonzero(~np.eye(n_areas, dtype=bool))
+    flows = rng.integers(1, 500, size=source.size).astype(np.float64)
+    pairs = ODPairs(
+        source=source,
+        dest=dest,
+        m=populations[source],
+        n=populations[dest],
+        d_km=np.maximum(distances[source, dest], 1e-3),
+        flow=flows,
+    )
+    return pairs, populations, distances
+
+
+# -- seeded sweeps (always run) -----------------------------------------
+
+
+class TestHaversineSweep:
+    def test_symmetry(self):
+        for _ in range(SWEEP):
+            a, b = random_point(RNG), random_point(RNG)
+            assert haversine_km(a, b) == pytest.approx(haversine_km(b, a), abs=1e-9)
+
+    def test_identity_of_indiscernibles(self):
+        for _ in range(SWEEP):
+            a = random_point(RNG)
+            assert haversine_km(a, a) == 0.0
+
+    def test_non_negative_and_bounded(self):
+        for _ in range(SWEEP):
+            d = haversine_km(random_point(RNG), random_point(RNG))
+            assert 0.0 <= d <= MAX_DISTANCE_KM + 1e-6
+
+    def test_triangle_inequality(self):
+        for _ in range(SWEEP):
+            a, b, c = (random_point(RNG) for _ in range(3))
+            ab = haversine_km(a, b)
+            bc = haversine_km(b, c)
+            ac = haversine_km(a, c)
+            assert ac <= ab + bc + 1e-6
+
+
+class TestPearsonSweep:
+    def test_affine_rescaling_invariance(self):
+        for _ in range(SWEEP // 4):
+            x = RNG.normal(size=30)
+            y = RNG.normal(size=30)
+            scale = float(RNG.uniform(0.1, 100.0))
+            offset = float(RNG.uniform(-1e3, 1e3))
+            base = pearson(x, y).r
+            assert pearson(scale * x + offset, y).r == pytest.approx(base, abs=1e-9)
+
+    def test_negative_scale_flips_sign(self):
+        for _ in range(SWEEP // 4):
+            x = RNG.normal(size=30)
+            y = RNG.normal(size=30)
+            base = pearson(x, y).r
+            assert pearson(-3.0 * x, y).r == pytest.approx(-base, abs=1e-9)
+
+    def test_r_bounded_and_self_correlation_is_one(self):
+        for _ in range(SWEEP // 4):
+            x = RNG.normal(size=20)
+            y = RNG.normal(size=20)
+            assert -1.0 <= pearson(x, y).r <= 1.0
+            assert pearson(x, x).r == pytest.approx(1.0)
+
+    def test_degenerate_inputs_total(self):
+        constant = np.full(10, 3.0)
+        wiggly = RNG.normal(size=10)
+        result = pearson(constant, wiggly)
+        assert result.r == 0.0 and result.p_value == 1.0
+
+
+class TestHitRateSweep:
+    def test_bounded_in_unit_interval(self):
+        for _ in range(SWEEP // 4):
+            observed = RNG.uniform(1.0, 1e4, size=50)
+            estimated = observed * RNG.uniform(0.1, 10.0, size=50)
+            assert 0.0 <= hit_rate(observed, estimated) <= 1.0
+
+    def test_perfect_estimates_hit_everything(self):
+        observed = RNG.uniform(1.0, 1e4, size=50)
+        assert hit_rate(observed, observed.copy()) == 1.0
+
+    def test_boundary_of_the_50pct_band(self):
+        observed = np.full(10, 100.0)
+        assert hit_rate(observed, np.full(10, 150.0)) == 1.0  # exactly 50% off
+        assert hit_rate(observed, np.full(10, 150.0001)) == 0.0
+
+    def test_monotone_in_tolerance(self):
+        observed = RNG.uniform(1.0, 1e4, size=100)
+        estimated = observed * RNG.uniform(0.2, 5.0, size=100)
+        rates = [hit_rate(observed, estimated, tolerance=t) for t in (0.1, 0.5, 1.0, 4.0)]
+        assert rates == sorted(rates)
+
+
+class TestModelPredictionSweep:
+    def test_gravity_predictions_non_negative(self):
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            pairs, _populations, _distances = synthetic_pairs(rng)
+            for n_params in (2, 4):
+                predicted = GravityModel(n_params).fit(pairs).predict(pairs)
+                assert np.all(predicted >= 0.0)
+                assert np.all(np.isfinite(predicted))
+
+    def test_radiation_predictions_non_negative(self):
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            pairs, populations, distances = synthetic_pairs(rng)
+            model = RadiationModel(populations, distances)
+            predicted = model.fit(pairs).predict(pairs)
+            assert np.all(predicted >= 0.0)
+            assert np.all(np.isfinite(predicted))
+
+
+class TestRadiationKernelSweep:
+    def test_row_sums_normalised(self):
+        # sum_j m n_j / ((m+s)(m+n_j+s)) telescopes to <= 1 per origin:
+        # the kernel is a probability distribution over destinations
+        # (up to the finite-system remainder), so no origin can emit
+        # more than its whole outflow mass.
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            populations, distances = random_area_system(rng, 15)
+            s = intervening_population_matrix(populations, distances)
+            n_areas = populations.size
+            off_diagonal = ~np.eye(n_areas, dtype=bool)
+            for i in range(n_areas):
+                j = np.nonzero(off_diagonal[i])[0]
+                terms = radiation_base(
+                    np.full(j.size, populations[i]), populations[j], s[i, j]
+                )
+                assert np.all(terms >= 0.0)
+                assert terms.sum() <= 1.0 + 1e-9
+
+    def test_intervening_population_non_negative_zero_diagonal(self):
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            populations, distances = random_area_system(rng, 12)
+            s = intervening_population_matrix(populations, distances)
+            assert np.all(s >= 0.0)
+            assert np.all(np.diag(s) == 0.0)
+
+
+# -- hypothesis (generative, when available) ----------------------------
+
+coords = None
+if HAS_HYPOTHESIS:
+    finite = {"allow_nan": False, "allow_infinity": False}
+    coords = st.tuples(
+        st.floats(min_value=-90.0, max_value=90.0, **finite),
+        st.floats(min_value=-180.0, max_value=180.0, **finite),
+    )
+
+
+@pytest.mark.skipif(not HAS_HYPOTHESIS, reason="hypothesis not installed")
+class TestHypothesisProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(a=coords, b=coords)
+    def test_haversine_symmetric_and_bounded(self, a, b):
+        d_ab = haversine_km(a, b)
+        assert d_ab == pytest.approx(haversine_km(b, a), abs=1e-9)
+        assert 0.0 <= d_ab <= MAX_DISTANCE_KM + 1e-6
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=coords, b=coords, c=coords)
+    def test_haversine_triangle_inequality(self, a, b, c):
+        assert haversine_km(a, c) <= (
+            haversine_km(a, b) + haversine_km(b, c) + 1e-6
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        scale=st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+        offset=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    )
+    def test_pearson_affine_invariance(self, seed, scale, offset):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=25)
+        y = rng.normal(size=25)
+        base = pearson(x, y).r
+        assert pearson(scale * x + offset, y).r == pytest.approx(base, abs=1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        tolerance=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    )
+    def test_hit_rate_bounded(self, seed, tolerance):
+        rng = np.random.default_rng(seed)
+        observed = rng.uniform(0.0, 1e4, size=40)  # includes zeros
+        estimated = rng.uniform(0.0, 1e4, size=40)
+        assert 0.0 <= hit_rate(observed, estimated, tolerance=tolerance) <= 1.0
