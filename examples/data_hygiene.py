@@ -23,10 +23,10 @@ from repro.data import (
     coarsen_coordinates,
     corpus_health_report,
     detect_bots,
-    k_anonymity_report,
     pseudonymize_users,
     remove_users,
 )
+from repro.extraction import k_anonymity_report
 from repro.data.gazetteer import Scale, areas_for_scale, search_radius_km
 from repro.extraction import extract_area_observations
 from repro.extraction.population import twitter_population_arrays

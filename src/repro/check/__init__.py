@@ -1,0 +1,70 @@
+"""Project-aware static analysis with a ratcheting baseline.
+
+``repro.check`` is a dependency-free (stdlib-``ast``-only) analyzer
+that enforces this repository's own correctness contracts — things no
+off-the-shelf linter knows about:
+
+``layering``
+    The package DAG (``geo``/``stats``/``obs`` → ``data`` →
+    ``synth``/``extraction``/``models`` → domain → ``experiments`` →
+    ``pipeline`` → ``serve`` → entry points): no kernel ever imports
+    upward into orchestration or service code.
+``determinism``
+    No wall-clock reads, process-global RNG use, unseeded generators,
+    or kernel ``os.environ`` reads — the constructs that silently
+    poison the content-addressed artifact cache and the golden pins.
+``hygiene``
+    No ``print()`` in library code (stdout belongs to artefacts; use
+    :mod:`repro.obs.logs`), no mutable default arguments, no bare or
+    swallowed ``except``.
+``concurrency``
+    In ``serve``, classes that own a ``threading.Lock`` must write
+    their shared attributes under it.
+
+Violations resolve against the committed ``check-baseline.json``:
+existing debt is inventoried there, anything new fails.  Inline
+``# repro: allow[rule] reason`` pragmas suppress individual sites.
+
+Run ``repro check`` (text) or ``repro check --format json`` (CI
+artifact); re-record accepted debt with ``repro check --baseline``.
+"""
+
+from repro.check.baseline import (
+    BASELINE_VERSION,
+    BaselineDiff,
+    diff_against_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.check.layering import LAYER_DAG
+from repro.check.report import JSON_REPORT_KEYS, render_json, render_text
+from repro.check.rules import RULE_FACTORIES, Rule, Violation
+from repro.check.runner import (
+    BASELINE_FILENAME,
+    CheckResult,
+    discover_root,
+    run_check,
+)
+from repro.check.walker import CheckConfigError, SourceFile, iter_source_files
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "BASELINE_VERSION",
+    "BaselineDiff",
+    "CheckConfigError",
+    "CheckResult",
+    "JSON_REPORT_KEYS",
+    "LAYER_DAG",
+    "RULE_FACTORIES",
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "diff_against_baseline",
+    "discover_root",
+    "iter_source_files",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "run_check",
+    "save_baseline",
+]

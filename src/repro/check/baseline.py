@@ -1,0 +1,92 @@
+"""Ratcheting baseline for ``repro.check``.
+
+The committed ``check-baseline.json`` inventories accepted debt: a
+violation whose fingerprint appears there passes; anything new fails.
+The rule set therefore only ever tightens — fixing a violation and
+re-recording shrinks the file, and nothing can be added without an
+explicit ``repro check --baseline`` showing up in review.
+
+Matching is by fingerprint (rule code + path + line text + occurrence
+index), so unrelated edits that shift line numbers do not un-baseline
+an entry.  Entries whose fingerprint no longer matches anything are
+*stale* — reported so the file gets re-recorded, but never a failure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.check.rules import Violation
+from repro.check.walker import CheckConfigError
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineDiff:
+    """Current violations split against a baseline."""
+
+    new: tuple[Violation, ...]
+    baselined: tuple[Violation, ...]
+    stale: tuple[dict, ...]  # baseline entries matching nothing anymore
+
+
+def load_baseline(path: Path) -> list[dict]:
+    """Entries of a baseline file; an absent file is an empty baseline."""
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise CheckConfigError(f"unparseable baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise CheckConfigError(
+            f"baseline {path} has unsupported format; expected "
+            f'{{"version": {BASELINE_VERSION}, "entries": [...]}}'
+        )
+    entries = payload.get("entries", [])
+    if not isinstance(entries, list):
+        raise CheckConfigError(f"baseline {path}: 'entries' must be a list")
+    return entries
+
+
+def save_baseline(path: Path, violations: list[Violation]) -> int:
+    """Record every current violation as accepted debt; returns count."""
+    entries = [
+        {
+            "fingerprint": violation.fingerprint,
+            "code": violation.code,
+            "path": violation.path,
+            "line": violation.line,
+            "message": violation.message,
+        }
+        for violation in sorted(
+            violations, key=lambda v: (v.path, v.line, v.code, v.fingerprint)
+        )
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def diff_against_baseline(
+    violations: list[Violation], entries: list[dict]
+) -> BaselineDiff:
+    """Split current violations into new vs baselined, and find stale debt."""
+    known = {
+        entry.get("fingerprint")
+        for entry in entries
+        if isinstance(entry, dict) and entry.get("fingerprint")
+    }
+    new = tuple(v for v in violations if v.fingerprint not in known)
+    baselined = tuple(v for v in violations if v.fingerprint in known)
+    seen = {v.fingerprint for v in baselined}
+    stale = tuple(
+        entry
+        for entry in entries
+        if isinstance(entry, dict) and entry.get("fingerprint") not in seen
+    )
+    return BaselineDiff(new=new, baselined=baselined, stale=stale)

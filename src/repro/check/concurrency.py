@@ -1,0 +1,164 @@
+"""Concurrency heuristic: lock-owning classes must write under the lock.
+
+Scope is the ``serve`` package — the one place where arbitrary HTTP
+client threads call into shared registries, monitors, caches and metric
+stores.  The heuristic:
+
+1. A class that creates a ``threading.Lock``/``RLock``/``Condition``
+   attribute in ``__init__`` (e.g. ``self._lock = threading.Lock()``)
+   is *lock-owning* — it has declared that its mutable state is shared.
+2. In every method of that class except ``__init__`` (construction
+   happens-before publication), an assignment or augmented assignment
+   to ``self.<attr>`` must sit lexically inside ``with self.<lock>:``.
+
+Reads are not checked (snapshot-read-then-serve is the service's
+documented pattern), and benign races (e.g. the registry's reload
+rate-limit stamp) carry ``# repro: allow[concurrency]`` pragmas with
+their justification.  This is a heuristic, not an escape analysis — it
+catches the mutation pattern that has actually bitten this codebase,
+at zero runtime cost.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.check.rules import Rule, dotted_path, register, resolve_imports
+from repro.check.walker import SourceFile
+
+#: Packages whose classes serve concurrent callers.
+SCOPED_PACKAGES = frozenset({"serve"})
+
+#: threading constructors whose product guards shared state.
+LOCK_CONSTRUCTORS = frozenset(
+    {"threading.Lock", "threading.RLock", "threading.Condition"}
+)
+
+
+@register
+class ConcurrencyRule(Rule):
+    """Flags unguarded self-attribute writes in lock-owning classes."""
+
+    name = "concurrency"
+
+    def check(self, source: SourceFile) -> None:
+        if source.package not in SCOPED_PACKAGES:
+            return
+        imports = resolve_imports(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                self._check_class(source, node, imports)
+
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef, imports: dict[str, str]
+    ) -> None:
+        lock_attrs = _lock_attributes(cls, imports)
+        if not lock_attrs:
+            return
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name == "__init__":
+                continue  # construction happens-before publication
+            self._check_method(source, cls, stmt, lock_attrs)
+
+    def _check_method(
+        self,
+        source: SourceFile,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        lock_attrs: frozenset[str],
+    ) -> None:
+        for body_stmt in method.body:
+            self._walk(source, cls, method, body_stmt, lock_attrs, guarded=False)
+
+    def _walk(
+        self,
+        source: SourceFile,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: ast.stmt,
+        lock_attrs: frozenset[str],
+        guarded: bool,
+    ) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            holds = guarded or any(
+                _is_self_attr(item.context_expr, lock_attrs)
+                for item in node.items
+            )
+            for child in node.body:
+                self._walk(source, cls, method, child, lock_attrs, holds)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes run elsewhere; out of heuristic reach
+        if not guarded:
+            for target_name in _unguarded_self_writes(node, lock_attrs):
+                self.report(
+                    source,
+                    node,
+                    "unguarded-write",
+                    f"{cls.name}.{method.name} writes shared attribute "
+                    f"'self.{target_name}' outside "
+                    f"'with self.{sorted(lock_attrs)[0]}:'",
+                )
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                self._walk(source, cls, method, child, lock_attrs, guarded)
+
+
+def _lock_attributes(cls: ast.ClassDef, imports: dict[str, str]) -> frozenset[str]:
+    """Names of self attributes bound to threading locks in __init__."""
+    attrs: set[str] = set()
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not isinstance(node.value, ast.Call):
+                    continue
+                path = dotted_path(node.value.func, imports)
+                if path not in LOCK_CONSTRUCTORS:
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attrs.add(target.attr)
+    return frozenset(attrs)
+
+
+def _is_self_attr(expr: ast.expr, names: frozenset[str]) -> bool:
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in names
+    )
+
+
+def _unguarded_self_writes(node: ast.stmt, lock_attrs: frozenset[str]) -> list[str]:
+    """self attributes written by one statement (ignoring the locks)."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, ast.AugAssign):
+        targets = [node.target]
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        targets = [node.target]
+    written: list[str] = []
+    for target in targets:
+        if isinstance(target, ast.Tuple):
+            candidates = list(target.elts)
+        else:
+            candidates = [target]
+        for candidate in candidates:
+            if (
+                isinstance(candidate, ast.Attribute)
+                and isinstance(candidate.value, ast.Name)
+                and candidate.value.id == "self"
+                and candidate.attr not in lock_attrs
+            ):
+                written.append(candidate.attr)
+    return written

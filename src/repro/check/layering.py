@@ -1,0 +1,146 @@
+r"""Import-layering rule: enforce the package dependency DAG.
+
+The architecture is a strict DAG of subpackages — kernels at the
+bottom, orchestration above them, service/tooling on top::
+
+    geo   stats   obs                 (L0: pure kernels + log substrate)
+        \   |   /
+          data                       (L1: records, gazetteer, I/O)
+        /   |   \
+    synth extraction models          (L2: generation + estimation kernels)
+        \   |   /
+    epidemic stream viz              (L3: domain extensions)
+          |
+      experiments                    (L4: paper artefacts)
+          |
+       pipeline                      (L5: cached DAG orchestration)
+          |
+        serve                        (L6: online service)
+          |
+     cli / check / <root>            (L7: entry points and tooling)
+
+An import is legal when the target package appears in the source
+package's allowed set below (its transitive closure is spelled out
+explicitly so the map doubles as documentation).  ``if TYPE_CHECKING:``
+imports are exempt — they never execute, so they create no runtime
+coupling (used by ``models.radiation_grid`` for the synth ``World``
+annotation).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.check.rules import Rule, register
+from repro.check.walker import SourceFile, type_checking_spans
+
+#: Allowed ``repro.*`` dependencies per top-level subpackage.  ``<root>``
+#: covers repro/__init__.py, cli.py and __main__.py, which may import
+#: anything.  A package absent from this map is flagged until it is
+#: deliberately placed in the DAG.
+LAYER_DAG: dict[str, frozenset[str]] = {
+    "geo": frozenset(),
+    "stats": frozenset(),
+    "obs": frozenset(),
+    "check": frozenset(),  # the analyzer itself stays dependency-free
+    "data": frozenset({"geo", "stats"}),
+    "synth": frozenset({"geo", "stats", "data"}),
+    "extraction": frozenset({"geo", "stats", "obs", "data"}),
+    "models": frozenset({"geo", "stats", "obs", "data", "extraction"}),
+    "epidemic": frozenset({"geo", "stats", "obs", "data", "extraction", "models"}),
+    "stream": frozenset({"geo", "stats", "obs", "data", "extraction", "models"}),
+    "viz": frozenset({"geo", "stats", "obs", "data", "extraction"}),
+    "experiments": frozenset(
+        {
+            "geo", "stats", "obs", "data", "synth", "extraction", "models",
+            "epidemic", "stream", "viz",
+        }
+    ),
+    "pipeline": frozenset(
+        {
+            "geo", "stats", "obs", "data", "synth", "extraction", "models",
+            "epidemic", "stream", "viz", "experiments",
+        }
+    ),
+    "serve": frozenset(
+        {
+            "geo", "stats", "obs", "data", "synth", "extraction", "models",
+            "epidemic", "stream", "viz", "experiments", "pipeline",
+        }
+    ),
+}
+
+
+@register
+class LayeringRule(Rule):
+    """Flags ``repro.*`` imports that point upward in the layer DAG."""
+
+    name = "layering"
+
+    def check(self, source: SourceFile) -> None:
+        package = source.package
+        if package == "<root>":
+            return  # entry points may import anything
+        allowed = LAYER_DAG.get(package)
+        type_only = type_checking_spans(source.tree)
+        for node in ast.walk(source.tree):
+            targets = _import_targets(node, source)
+            if not targets:
+                continue
+            if any(start <= node.lineno <= end for start, end in type_only):
+                continue
+            for target in targets:
+                if allowed is None:
+                    self.report(
+                        source,
+                        node,
+                        "unknown-package",
+                        f"package '{package}' is not in the layering map — "
+                        "place it in repro.check.layering.LAYER_DAG",
+                    )
+                    break
+                if target == package:
+                    continue
+                if target == "<root>":
+                    self.report(
+                        source,
+                        node,
+                        "upward-import",
+                        f"'{source.module}' imports the repro package root — "
+                        "only entry points may; import the defining module",
+                    )
+                elif target not in allowed:
+                    self.report(
+                        source,
+                        node,
+                        "upward-import",
+                        f"'{source.module}' ({package}) may not import "
+                        f"'repro.{target}': allowed deps are "
+                        f"{{{', '.join(sorted(allowed)) or 'none'}}}",
+                    )
+
+
+def _import_targets(node: ast.AST, source: SourceFile) -> list[str]:
+    """Top-level ``repro`` subpackages referenced by one import node."""
+    targets: list[str] = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            parts = alias.name.split(".")
+            if parts[0] == "repro":
+                targets.append(parts[1] if len(parts) > 1 else "<root>")
+    elif isinstance(node, ast.ImportFrom):
+        if node.level:  # relative import: resolve against this module
+            base = source.module.split(".")
+            base = base[: len(base) - node.level]
+            if node.module:
+                base = base + node.module.split(".")
+            if base and base[0] == "repro":
+                targets.append(base[1] if len(base) > 1 else "<root>")
+        elif node.module == "repro":
+            for alias in node.names:
+                # `from repro import X`: X is a subpackage when named in
+                # the DAG, otherwise a root-level symbol re-export.
+                targets.append(alias.name if alias.name in LAYER_DAG else "<root>")
+        elif node.module and node.module.startswith("repro."):
+            targets.append(node.module.split(".")[1])
+    return targets

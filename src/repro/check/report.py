@@ -1,0 +1,85 @@
+"""Text and JSON reporters for ``repro.check`` results.
+
+The text form is for humans at a terminal (one ``path:line:col`` line
+per finding, grouped summary at the bottom); the JSON form is the CI
+artifact — a single stable-schema object that downstream tooling can
+diff across builds.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.check.runner import CheckResult
+
+#: Top-level keys every JSON report carries, in emission order.
+JSON_REPORT_KEYS = (
+    "version",
+    "root",
+    "files_scanned",
+    "duration_seconds",
+    "rules",
+    "counts",
+    "new_violations",
+    "baselined_violations",
+    "stale_baseline_entries",
+    "ok",
+)
+
+
+def render_text(result: CheckResult, verbose_baselined: bool = False) -> str:
+    """Human-readable report; new violations first, summary last."""
+    lines: list[str] = []
+    for violation in result.new:
+        lines.append(
+            f"{violation.path}:{violation.line}:{violation.col + 1}: "
+            f"[{violation.code}] {violation.message}"
+        )
+        if violation.snippet:
+            lines.append(f"    {violation.snippet}")
+    if verbose_baselined and result.baselined:
+        lines.append("baselined (accepted debt):")
+        for violation in result.baselined:
+            lines.append(
+                f"  {violation.path}:{violation.line}: [{violation.code}] "
+                f"{violation.message}"
+            )
+    counts = result.counts_by_rule()
+    summary = ", ".join(f"{rule}={count}" for rule, count in sorted(counts.items()))
+    lines.append(
+        f"repro check: {len(result.new)} new violation(s), "
+        f"{len(result.baselined)} baselined, {len(result.stale)} stale "
+        f"baseline entr{'y' if len(result.stale) == 1 else 'ies'} "
+        f"({result.files_scanned} files, {result.duration_seconds:.2f}s"
+        + (f"; by rule: {summary}" if summary else "")
+        + ")"
+    )
+    if result.stale:
+        lines.append(
+            "note: stale baseline entries match nothing anymore — "
+            "re-record with 'repro check --baseline'"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: CheckResult) -> str:
+    """Machine-readable report with the stable key set JSON_REPORT_KEYS."""
+    payload = {
+        "version": 1,
+        "root": str(result.root),
+        "files_scanned": result.files_scanned,
+        "duration_seconds": round(result.duration_seconds, 4),
+        "rules": list(result.rules),
+        "counts": {
+            "new": len(result.new),
+            "baselined": len(result.baselined),
+            "stale_baseline_entries": len(result.stale),
+            "suppressed_by_pragma": result.suppressed,
+            "by_rule": result.counts_by_rule(),
+        },
+        "new_violations": [v.to_dict() for v in result.new],
+        "baselined_violations": [v.to_dict() for v in result.baselined],
+        "stale_baseline_entries": list(result.stale),
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

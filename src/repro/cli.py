@@ -14,6 +14,8 @@ Usage (installed as ``repro`` or via ``python -m repro``)::
     repro pipeline clean
     repro serve --port 8000
     repro epidemic --users 20000 --seed-city Sydney --model gravity2
+    repro check --format json
+    repro check --baseline
 
 ``experiment`` accepts either ``--corpus FILE`` (a CSV written by
 ``generate``) or ``--users N`` to synthesise a corpus on the fly.
@@ -253,6 +255,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="spatial rounding resolution in km (0 disables)",
     )
 
+    check = sub.add_parser(
+        "check",
+        help="project-aware static analysis (layering, determinism, "
+        "hygiene, concurrency) with a ratcheting baseline",
+    )
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is the CI artifact)",
+    )
+    check.add_argument(
+        "--baseline", action="store_true",
+        help="re-record every current violation as accepted debt",
+    )
+    check.add_argument(
+        "--baseline-file",
+        help="baseline path (default: <root>/check-baseline.json)",
+    )
+    check.add_argument(
+        "--root",
+        help="project root containing src/repro (default: auto-detect)",
+    )
+    check.add_argument(
+        "--rules", nargs="*", metavar="FAMILY",
+        help="rule families to run (default: all)",
+    )
+    check.add_argument(
+        "--show-baselined", action="store_true",
+        help="also list baselined (accepted) violations in text output",
+    )
+
     density = sub.add_parser("densitymap", help="render the Fig 1 density map as a PPM image")
     density.add_argument("--corpus", help="corpus CSV (else synthesise)")
     density.add_argument("--users", type=int, default=40_000, help="users to synthesise")
@@ -274,14 +306,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print(f"repro generate: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
-    start = time.time()
+    start = time.time()  # repro: allow[determinism] CLI progress timing
     result = generate_corpus(
         SynthConfig(n_users=args.users, seed=args.seed), jobs=args.jobs
     )
     count = write_tweets_csv(result.corpus.iter_tweets(), args.out)
     print(
         f"wrote {count} tweets by {result.corpus.n_users} users to {args.out} "
-        f"({time.time() - start:.1f}s)"
+        f"({time.time() - start:.1f}s)"  # repro: allow[determinism] CLI progress timing
     )
     return 0
 
@@ -294,8 +326,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.which == "all" and not args.no_cache:
-        from repro.experiments.runner import run_all_experiments_cached
-        from repro.pipeline import TaskFailure
+        from repro.pipeline import TaskFailure, run_all_experiments_cached
 
         if args.jobs < 1:
             print(
@@ -646,6 +677,33 @@ def _cmd_anonymize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.check import CheckConfigError, render_json, render_text, run_check
+
+    try:
+        result = run_check(
+            root=Path(args.root) if args.root else None,
+            rules=tuple(args.rules) if args.rules is not None else None,
+            baseline_path=Path(args.baseline_file) if args.baseline_file else None,
+            record=args.baseline,
+        )
+    except CheckConfigError as error:
+        raise CLIError(str(error)) from None
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose_baselined=args.show_baselined))
+        if result.recorded is not None:
+            print(
+                f"recorded {result.recorded} entr"
+                f"{'y' if result.recorded == 1 else 'ies'} to the baseline",
+                file=sys.stderr,
+            )
+    return 0 if result.ok else 1
+
+
 def _cmd_densitymap(args: argparse.Namespace) -> int:
     from repro.experiments.fig1 import run_fig1
     from repro.viz.image import save_density_ppm
@@ -675,6 +733,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "health": _cmd_health,
         "anonymize": _cmd_anonymize,
+        "check": _cmd_check,
         "densitymap": _cmd_densitymap,
     }
     try:

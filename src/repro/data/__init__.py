@@ -20,7 +20,6 @@
 from repro.data.anonymize import (
     coarsen_coordinates,
     jitter_coordinates,
-    k_anonymity_report,
     pseudonymize_users,
 )
 from repro.data.corpus import TweetCorpus
@@ -48,7 +47,6 @@ __all__ = [
     "corpus_health_report",
     "detect_bots",
     "jitter_coordinates",
-    "k_anonymity_report",
     "national_cities",
     "nsw_cities",
     "pseudonymize_users",

@@ -1,4 +1,4 @@
-"""Privacy utilities: pseudonymisation, spatial coarsening, k-anonymity.
+"""Privacy utilities: pseudonymisation and spatial coarsening.
 
 The paper's case for Twitter rests partly on call records being
 "privacy-sensitive".  Geo-tagged tweets are public, but a corpus that
@@ -10,9 +10,12 @@ re-identification risk, so a responsible release pipeline applies:
   keys);
 * :func:`coarsen_coordinates` — deterministic rounding of geo-tags to a
   target spatial resolution;
-* :func:`jitter_coordinates` — random displacement bounded by a radius;
-* :func:`k_anonymity_report` — per-area check that every published
-  count covers at least k users.
+* :func:`jitter_coordinates` — random displacement bounded by a radius.
+
+The complementary release-side audit —
+:func:`repro.extraction.privacy.k_anonymity_report` — lives in the
+extraction layer, because it consumes the ε-radius unique-user
+extraction and data-layer code never imports upward.
 
 Rounding and jitter degrade the analyses gracefully — the test suite
 checks the Fig 3 correlation survives coarsening to the ~1 km scale,
@@ -22,14 +25,10 @@ which is itself a statement about how robust the paper's pipeline is.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
 from repro.data.corpus import TweetCorpus
-from repro.data.gazetteer import Area
-from repro.extraction.population import extract_area_observations
 from repro.geo.distance import EARTH_RADIUS_KM
 
 
@@ -117,44 +116,4 @@ def jitter_coordinates(
         lats=new_lats,
         lons=corpus.lons + dlon,
         presorted=True,
-    )
-
-
-@dataclass(frozen=True)
-class KAnonymityReport:
-    """Which per-area user counts are publishable at anonymity level k."""
-
-    k: int
-    area_names: tuple[str, ...]
-    user_counts: np.ndarray
-    publishable: np.ndarray
-
-    @property
-    def n_suppressed(self) -> int:
-        """Areas whose counts must be suppressed (fewer than k users)."""
-        return int((~self.publishable).sum())
-
-    def render(self) -> str:
-        """One line per area with its verdict."""
-        lines = [f"k-anonymity report (k={self.k}):"]
-        for name, count, ok in zip(self.area_names, self.user_counts, self.publishable):
-            verdict = "ok" if ok else "SUPPRESS"
-            lines.append(f"  {name:<22s} {int(count):>8d} users  {verdict}")
-        lines.append(f"  -> {self.n_suppressed} of {len(self.area_names)} suppressed")
-        return "\n".join(lines)
-
-
-def k_anonymity_report(
-    corpus: TweetCorpus, areas: Sequence[Area], radius_km: float, k: int = 10
-) -> KAnonymityReport:
-    """Check each area's unique-user count against an anonymity floor."""
-    if k < 1:
-        raise ValueError("k must be >= 1")
-    observations = extract_area_observations(corpus, areas, radius_km)
-    counts = np.array([o.n_users for o in observations], dtype=np.int64)
-    return KAnonymityReport(
-        k=k,
-        area_names=tuple(a.name for a in areas),
-        user_counts=counts,
-        publishable=counts >= k,
     )

@@ -59,7 +59,7 @@ def simulate_stochastic_sir(
         raise ValueError("beta must be >= 0 and gamma > 0")
     if t_max_days < 1:
         raise ValueError("horizon must be at least one day")
-    rng = rng or np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     n = network.n_patches
     populations = network.populations.astype(np.int64)
     i_now = np.zeros(n, dtype=np.int64)
@@ -155,7 +155,7 @@ def arrival_times(
     """
     if n_runs < 1:
         raise ValueError("need at least one run")
-    rng = rng or np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     n = network.n_patches
     sums = np.zeros(n)
     hits = np.zeros(n, dtype=np.int64)

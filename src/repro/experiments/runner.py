@@ -46,7 +46,7 @@ def run_all_experiments(corpus: TweetCorpus) -> ExperimentSuiteResult:
     spatial index build, one labelling pass per scale and one model fit
     per (scale, model).  This always executes every artefact in-process;
     for the cached, process-parallel variant use
-    :func:`run_all_experiments_cached`.
+    :func:`repro.pipeline.run_all_experiments_cached`.
     """
     context = ExperimentContext(corpus)
     fig4 = run_fig4(context)
@@ -58,27 +58,4 @@ def run_all_experiments(corpus: TweetCorpus) -> ExperimentSuiteResult:
         fig3=run_fig3(context),
         fig4=fig4,
         table2=table2,
-    )
-
-
-def run_all_experiments_cached(
-    config=None,
-    corpus_path: str | None = None,
-    cache_dir: str | None = None,
-    jobs: int = 1,
-    force: bool = False,
-):
-    """Pipeline-backed suite: artifact-cached and process-parallel.
-
-    Delegates to :mod:`repro.pipeline.graphs`; a warm cache resolves the
-    whole suite without executing a single task body.  Returns
-    ``(ExperimentSuiteResult, RunResult)`` — the second element carries
-    the run manifest (timings, cache hits, digests).
-    """
-    # Imported here because repro.pipeline.graphs imports this module.
-    from repro.pipeline import ArtifactStore, run_suite
-
-    store = ArtifactStore(cache_dir) if cache_dir else None
-    return run_suite(
-        config=config, corpus_path=corpus_path, store=store, jobs=jobs, force=force
     )

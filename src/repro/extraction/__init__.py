@@ -32,6 +32,7 @@ from repro.extraction.population import (
     assign_tweets_to_areas,
     extract_area_observations,
 )
+from repro.extraction.privacy import KAnonymityReport, k_anonymity_report
 from repro.extraction.trajectories import (
     Trajectory,
     displacement_distribution,
@@ -47,6 +48,7 @@ from repro.extraction.visitation import (
 __all__ = [
     "AreaObservation",
     "HomeLocations",
+    "KAnonymityReport",
     "ODFlows",
     "Trajectory",
     "assign_tweets_to_areas",
@@ -58,6 +60,7 @@ __all__ = [
     "extract_od_flows",
     "flow_stability",
     "home_based_population",
+    "k_anonymity_report",
     "memory_coefficient",
     "periodic_flows",
     "radius_of_gyration",

@@ -1,0 +1,61 @@
+"""k-anonymity auditing of area-level releases.
+
+A responsible release pipeline (see :mod:`repro.data.anonymize` for the
+pseudonymisation and coarsening half) must also check what it is about
+to *publish*: an area whose count covers fewer than ``k`` distinct
+users is a re-identification risk and must be suppressed.  The check
+needs the ε-radius unique-user extraction, so it lives here in the
+extraction layer rather than with the record-level transforms in
+``repro.data`` — data-layer code never imports upward into extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.corpus import TweetCorpus
+from repro.data.gazetteer import Area
+from repro.extraction.population import extract_area_observations
+
+
+@dataclass(frozen=True)
+class KAnonymityReport:
+    """Which per-area user counts are publishable at anonymity level k."""
+
+    k: int
+    area_names: tuple[str, ...]
+    user_counts: np.ndarray
+    publishable: np.ndarray
+
+    @property
+    def n_suppressed(self) -> int:
+        """Areas whose counts must be suppressed (fewer than k users)."""
+        return int((~self.publishable).sum())
+
+    def render(self) -> str:
+        """One line per area with its verdict."""
+        lines = [f"k-anonymity report (k={self.k}):"]
+        for name, count, ok in zip(self.area_names, self.user_counts, self.publishable):
+            verdict = "ok" if ok else "SUPPRESS"
+            lines.append(f"  {name:<22s} {int(count):>8d} users  {verdict}")
+        lines.append(f"  -> {self.n_suppressed} of {len(self.area_names)} suppressed")
+        return "\n".join(lines)
+
+
+def k_anonymity_report(
+    corpus: TweetCorpus, areas: Sequence[Area], radius_km: float, k: int = 10
+) -> KAnonymityReport:
+    """Check each area's unique-user count against an anonymity floor."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    observations = extract_area_observations(corpus, areas, radius_km)
+    counts = np.array([o.n_users for o in observations], dtype=np.int64)
+    return KAnonymityReport(
+        k=k,
+        area_names=tuple(a.name for a in areas),
+        user_counts=counts,
+        publishable=counts >= k,
+    )

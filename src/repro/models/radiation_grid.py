@@ -24,6 +24,8 @@ resolution rescue the radiation model on Australian geography?
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.data.corpus import TweetCorpus
@@ -39,7 +41,11 @@ from repro.models.base import (
     positive_pairs_mask,
 )
 from repro.models.radiation import radiation_base
-from repro.synth.population import World
+
+if TYPE_CHECKING:
+    # Type-only: the function body duck-types over .sites, so models
+    # carries no runtime dependency on the synth layer.
+    from repro.synth.population import World
 
 
 class PopulationGrid:

@@ -75,7 +75,7 @@ class StructuredLogger:
         if _LEVELS[level] < _LEVELS[self.level]:
             return
         record = {
-            "ts": round(time.time(), 6),
+            "ts": round(time.time(), 6),  # repro: allow[determinism] log record timestamp
             "level": level,
             "logger": self.name,
             "event": event,
@@ -86,8 +86,8 @@ class StructuredLogger:
         try:
             stream.write(json.dumps(record, default=str) + "\n")
             stream.flush()
-        except (ValueError, OSError):
-            pass  # closed stream (interpreter teardown); drop the record
+        except (ValueError, OSError):  # repro: allow[hygiene] closed stream at teardown
+            pass  # drop the record: nowhere left to write it
 
     def debug(self, event: str, **fields) -> None:
         """Emit a debug-level record."""

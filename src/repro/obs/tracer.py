@@ -172,7 +172,7 @@ class Tracer:
             name=name,
             span_id=self._next_id(),
             parent_id=parent_id,
-            start_wall=time.time(),
+            start_wall=time.time(),  # repro: allow[determinism] span epoch anchor
             pid=os.getpid(),
             tid=threading.get_ident() & 0xFFFFFFFF,
             attrs=dict(attrs),

@@ -20,6 +20,7 @@ from repro.pipeline.executor import Executor, RunResult
 from repro.pipeline.graph import CycleError, Pipeline
 from repro.pipeline.graphs import (
     ARTEFACT_TASKS,
+    run_all_experiments_cached,
     run_suite,
     suite_pipeline,
     suite_result,
@@ -45,6 +46,7 @@ __all__ = [
     "default_cache_dir",
     "fingerprint",
     "hash_file",
+    "run_all_experiments_cached",
     "run_suite",
     "suite_pipeline",
     "suite_result",

@@ -205,3 +205,26 @@ def run_suite(
     if targets is not None and set(ARTEFACT_TASKS) - run.digests.keys():
         return None, run
     return suite_result(run), run
+
+
+def run_all_experiments_cached(
+    config: SynthConfig | None = None,
+    corpus_path: str | None = None,
+    cache_dir: str | None = None,
+    jobs: int = 1,
+    force: bool = False,
+) -> tuple[ExperimentSuiteResult, RunResult]:
+    """Pipeline-backed suite: artifact-cached and process-parallel.
+
+    The convenience form of :func:`run_suite` for full-suite callers —
+    a warm cache resolves the whole suite without executing a single
+    task body.  Returns ``(ExperimentSuiteResult, RunResult)`` — the
+    second element carries the run manifest (timings, cache hits,
+    digests).
+    """
+    store = ArtifactStore(cache_dir) if cache_dir else None
+    suite, run = run_suite(
+        config=config, corpus_path=corpus_path, store=store, jobs=jobs, force=force
+    )
+    assert suite is not None  # no targets filter -> full suite
+    return suite, run

@@ -46,7 +46,7 @@ def _atomic_write(path: Path, data: bytes) -> None:
     except BaseException:
         try:
             os.unlink(tmp_name)
-        except OSError:
+        except OSError:  # repro: allow[hygiene] best-effort cleanup; original error re-raises
             pass
         raise
 

@@ -114,7 +114,7 @@ class EstimationApp:
         self.max_body_bytes = max_body_bytes
         self.profile_requests = profile_requests
         self._profile_reports: deque[dict] = deque(maxlen=16)
-        self.started_at = time.time()
+        self.started_at = time.time()  # repro: allow[determinism] uptime base
         self._routes: dict[tuple[str, str], Callable] = {
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/metrics"): self._handle_metrics,
@@ -248,7 +248,7 @@ class EstimationApp:
             "corpus_digest": snapshot.corpus_digest,
             "corpus_tweets": snapshot.n_tweets,
             "corpus_users": snapshot.n_users,
-            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "uptime_seconds": round(time.time() - self.started_at, 3),  # repro: allow[determinism] uptime report
         }
 
     def _handle_metrics(self, query: dict, body: dict | None) -> tuple[int, dict]:
@@ -517,8 +517,8 @@ class RequestHandler(BaseHTTPRequestHandler):
                 self.send_header("X-Request-Id", request_id)
             self.end_headers()
             self.wfile.write(data)
-        except (BrokenPipeError, ConnectionResetError):
-            pass  # client went away; still account for the request
+        except (BrokenPipeError, ConnectionResetError):  # repro: allow[hygiene] client went away
+            pass  # still account for the request below
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         self.app.metrics.observe(
             self.app.route_label(method, path), status, elapsed_ms,

@@ -155,7 +155,7 @@ class MetricsRegistry:
             "status": status,
             "ms": round(ms, 3),
             "cached": cached,
-            "ts": round(time.time(), 3),
+            "ts": round(time.time(), 3),  # repro: allow[determinism] request timestamp
         }
         with self._lock:
             metrics = self._endpoints.setdefault(endpoint, EndpointMetrics())

@@ -141,7 +141,7 @@ def build_snapshot(store: ArtifactStore, manifest) -> Snapshot:
         corpus_digest=corpus_digest,
         n_tweets=len(corpus),
         n_users=corpus.n_users,
-        loaded_at=time.time(),
+        loaded_at=time.time(),  # repro: allow[determinism] snapshot load timestamp
         scales=scales,
     )
 
@@ -201,6 +201,7 @@ class ModelRegistry:
         now = time.monotonic()
         if not force and now < self._next_poll:
             return False
+        # repro: allow[concurrency] benign race: worst case is one extra scan
         self._next_poll = now + self.poll_interval
         current = self._snapshot
         manifest = self.store.latest_successful_run(required=("corpus",))

@@ -49,7 +49,7 @@ def evacuation_event(
         raise ValueError("need at least one user")
     if travel_seconds[0] <= 0 or travel_seconds[0] > travel_seconds[1]:
         raise ValueError("invalid travel time window")
-    rng = rng or np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     tweets = []
     for k in range(n_users):
         user_id = user_base + k
@@ -93,7 +93,7 @@ def gathering_event(
         raise ValueError("need at least one user per area")
     if duration_seconds <= 0:
         raise ValueError("duration must be positive")
-    rng = rng or np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     tweets = []
     next_user = user_base
     for home in home_areas:

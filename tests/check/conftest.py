@@ -1,0 +1,34 @@
+"""Fixtures for the repro.check test suite."""
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def make_project(tmp_path):
+    """Materialise a throwaway project tree for run_check().
+
+    ``files`` maps paths relative to ``src/repro`` (e.g.
+    ``"geo/coords.py"``) to their source text.  Package ``__init__.py``
+    files are created implicitly.  Returns the project root.
+    """
+
+    def _make(files: dict[str, str]) -> Path:
+        root = tmp_path / "project"
+        src = root / "src" / "repro"
+        src.mkdir(parents=True, exist_ok=True)
+        (src / "__init__.py").write_text("", encoding="utf-8")
+        for rel, text in files.items():
+            path = src / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            current = src
+            for part in Path(rel).parent.parts:
+                current = current / part
+                init = current / "__init__.py"
+                if not init.exists():
+                    init.write_text("", encoding="utf-8")
+            path.write_text(text, encoding="utf-8")
+        return root
+
+    return _make

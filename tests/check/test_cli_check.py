@@ -1,0 +1,62 @@
+"""End-to-end tests for `repro check` through the CLI entry point."""
+
+import json
+
+from repro.cli import main
+
+VIOLATING = "from repro.serve.app import App\n"
+
+
+def test_clean_tree_exits_zero(make_project, capsys):
+    root = make_project({"geo/coords.py": "x = 1\n"})
+    assert main(["check", "--root", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "0 new violation(s)" in out
+
+
+def test_violation_exits_nonzero(make_project, capsys):
+    root = make_project({"geo/coords.py": VIOLATING})
+    assert main(["check", "--root", str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "[layering/upward-import]" in out
+
+
+def test_baseline_flag_records_then_passes(make_project, capsys):
+    root = make_project({"geo/coords.py": VIOLATING})
+    assert main(["check", "--root", str(root), "--baseline"]) == 0
+    err = capsys.readouterr().err
+    assert "recorded 1 entry to the baseline" in err
+    assert (root / "check-baseline.json").exists()
+    assert main(["check", "--root", str(root)]) == 0
+
+
+def test_json_format_parses_and_reports(make_project, capsys):
+    root = make_project({"geo/coords.py": VIOLATING})
+    assert main(["check", "--root", str(root), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["counts"]["by_rule"] == {"layering": 1}
+
+
+def test_rules_subset(make_project, capsys):
+    # layering violation invisible when only hygiene is selected
+    root = make_project({"geo/coords.py": VIOLATING})
+    assert main(["check", "--root", str(root), "--rules", "hygiene"]) == 0
+    capsys.readouterr()
+
+
+def test_unknown_rule_is_cli_error(make_project, capsys):
+    root = make_project({"geo/coords.py": "x = 1\n"})
+    assert main(["check", "--root", str(root), "--rules", "nonsense"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule families" in err
+
+
+def test_baseline_file_override(make_project, tmp_path, capsys):
+    root = make_project({"geo/coords.py": VIOLATING})
+    alt = tmp_path / "alt-baseline.json"
+    assert main(["check", "--root", str(root), "--baseline", "--baseline-file", str(alt)]) == 0
+    assert alt.exists()
+    assert not (root / "check-baseline.json").exists()
+    assert main(["check", "--root", str(root), "--baseline-file", str(alt)]) == 0
+    capsys.readouterr()

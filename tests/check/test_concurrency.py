@@ -1,0 +1,101 @@
+"""Tests for the concurrency heuristic."""
+
+from repro.check.concurrency import ConcurrencyRule
+from repro.check.walker import SourceFile
+
+LOCKED_CLASS = """\
+import threading
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {{}}
+
+    def add(self, key, value):
+        {body}
+"""
+
+
+def run_on(text: str, module: str = "repro.serve.registry"):
+    source = SourceFile.from_text(text, module=module)
+    return ConcurrencyRule().run([source])
+
+
+def codes(found):
+    return [v.code for v in found]
+
+
+class TestUnguardedWrites:
+    def test_unguarded_write_flagged(self):
+        text = LOCKED_CLASS.format(body="self._items = {key: value}")
+        found = run_on(text)
+        assert codes(found) == ["concurrency/unguarded-write"]
+        assert "self._items" in found[0].message
+        assert "with self._lock" in found[0].message
+
+    def test_guarded_write_allowed(self):
+        text = LOCKED_CLASS.format(
+            body="with self._lock:\n            self._items = {key: value}"
+        )
+        assert run_on(text) == []
+
+    def test_augmented_assignment_flagged(self):
+        text = LOCKED_CLASS.format(body="self._count += 1")
+        assert codes(run_on(text)) == ["concurrency/unguarded-write"]
+
+    def test_annotated_assignment_flagged(self):
+        text = LOCKED_CLASS.format(body="self._items: dict = {}")
+        assert codes(run_on(text)) == ["concurrency/unguarded-write"]
+
+    def test_bare_annotation_not_flagged(self):
+        text = LOCKED_CLASS.format(body="self._items: dict")
+        assert run_on(text) == []
+
+    def test_tuple_target_flagged(self):
+        text = LOCKED_CLASS.format(body="self._a, self._b = 1, 2")
+        found = run_on(text)
+        assert len(found) == 2  # one report per written attribute
+        assert "self._a" in found[0].message and "self._b" in found[1].message
+
+
+class TestScopeAndExemptions:
+    def test_init_writes_exempt(self):
+        text = (
+            "import threading\n"
+            "class Registry:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.RLock()\n"
+            "        self._items = {}\n"
+        )
+        assert run_on(text) == []
+
+    def test_lockless_class_skipped(self):
+        text = (
+            "class Plain:\n"
+            "    def set(self, v):\n"
+            "        self.value = v\n"
+        )
+        assert run_on(text) == []
+
+    def test_non_serve_package_skipped(self):
+        text = LOCKED_CLASS.format(body="self._items = {key: value}")
+        assert run_on(text, module="repro.stats.metrics") == []
+
+    def test_nested_function_out_of_reach(self):
+        text = LOCKED_CLASS.format(
+            body="def inner():\n            self._items = {}\n        return inner"
+        )
+        assert run_on(text) == []
+
+    def test_local_variable_writes_allowed(self):
+        text = LOCKED_CLASS.format(body="items = dict(self._items)\n        return items")
+        assert run_on(text) == []
+
+    def test_pragma_suppresses(self):
+        rule = ConcurrencyRule()
+        text = LOCKED_CLASS.format(
+            body="self._stamp = 0  # repro: allow[concurrency] benign race"
+        )
+        source = SourceFile.from_text(text, module="repro.serve.registry")
+        assert rule.run([source]) == []
+        assert rule.suppressed == 1

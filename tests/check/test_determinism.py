@@ -1,0 +1,109 @@
+"""Tests for the determinism rule."""
+
+from repro.check.determinism import DeterminismRule
+from repro.check.walker import SourceFile
+
+
+def run_on(text: str, module: str = "repro.stats.kern"):
+    source = SourceFile.from_text(text, module=module)
+    return DeterminismRule().run([source])
+
+
+def codes(found):
+    return [v.code for v in found]
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        found = run_on("import time\nstamp = time.time()\n")
+        assert codes(found) == ["determinism/wall-clock"]
+
+    def test_datetime_now_flagged_through_alias(self):
+        found = run_on("from datetime import datetime as dt\nnow = dt.now()\n")
+        assert codes(found) == ["determinism/wall-clock"]
+
+    def test_date_today_flagged(self):
+        found = run_on("import datetime\nd = datetime.date.today()\n")
+        assert codes(found) == ["determinism/wall-clock"]
+
+    def test_monotonic_and_perf_counter_allowed(self):
+        assert run_on("import time\na = time.monotonic()\nb = time.perf_counter()\n") == []
+
+    def test_flagged_even_outside_kernel_packages(self):
+        found = run_on("import time\nstamp = time.time()\n", module="repro.serve.app")
+        assert codes(found) == ["determinism/wall-clock"]
+
+
+class TestRandomModule:
+    def test_global_random_call_flagged(self):
+        found = run_on("import random\nx = random.random()\n")
+        assert codes(found) == ["determinism/global-rng"]
+
+    def test_unseeded_random_instance_flagged(self):
+        found = run_on("import random\nrng = random.Random()\n")
+        assert codes(found) == ["determinism/unseeded-rng"]
+
+    def test_seeded_random_instance_allowed(self):
+        assert run_on("import random\nrng = random.Random(42)\n") == []
+
+    def test_system_random_always_flagged(self):
+        found = run_on("import random\nrng = random.SystemRandom()\n")
+        assert codes(found) == ["determinism/unseeded-rng"]
+
+
+class TestNumpyRandom:
+    def test_unseeded_default_rng_flagged_via_alias(self):
+        found = run_on("import numpy as np\nrng = np.random.default_rng()\n")
+        assert codes(found) == ["determinism/unseeded-rng"]
+
+    def test_seeded_default_rng_allowed(self):
+        assert run_on("import numpy as np\nrng = np.random.default_rng(0)\n") == []
+        assert run_on("import numpy as np\nrng = np.random.default_rng(seed=7)\n") == []
+
+    def test_from_import_resolved(self):
+        found = run_on("from numpy.random import default_rng\nrng = default_rng()\n")
+        assert codes(found) == ["determinism/unseeded-rng"]
+
+    def test_legacy_global_api_flagged(self):
+        found = run_on("import numpy as np\nx = np.random.rand(3)\nnp.random.seed(0)\n")
+        assert codes(found) == ["determinism/global-rng", "determinism/global-rng"]
+
+    def test_generator_wrapper_allowed(self):
+        text = "import numpy as np\nrng = np.random.Generator(np.random.PCG64(5))\n"
+        assert run_on(text) == []
+
+
+class TestEnvReads:
+    def test_environ_read_flagged_in_kernel(self):
+        found = run_on("import os\nv = os.environ['HOME']\n", module="repro.geo.coords")
+        assert codes(found) == ["determinism/env-read"]
+
+    def test_getenv_flagged_in_kernel(self):
+        found = run_on("import os\nv = os.getenv('HOME')\n", module="repro.models.kde")
+        assert codes(found) == ["determinism/env-read"]
+
+    def test_env_read_allowed_outside_kernel(self):
+        assert run_on("import os\nv = os.getenv('PORT')\n", module="repro.serve.app") == []
+        assert run_on("import os\nv = os.environ.get('X')\n", module="repro.cli") == []
+
+    def test_environ_get_reports_once(self):
+        found = run_on("import os\nv = os.environ.get('X')\n", module="repro.data.io")
+        assert codes(found) == ["determinism/env-read"]
+
+
+class TestSuppression:
+    def test_pragma_suppresses_wall_clock(self):
+        rule = DeterminismRule()
+        source = SourceFile.from_text(
+            "import time\nstamp = time.time()  # repro: allow[determinism] uptime base\n",
+            module="repro.stats.kern",
+        )
+        assert rule.run([source]) == []
+        assert rule.suppressed == 1
+
+    def test_specific_code_pragma(self):
+        source = SourceFile.from_text(
+            "import time\nstamp = time.time()  # repro: allow[determinism/wall-clock]\n",
+            module="repro.stats.kern",
+        )
+        assert DeterminismRule().run([source]) == []

@@ -1,0 +1,78 @@
+"""Tests for the hygiene rule."""
+
+from repro.check.hygiene import HygieneRule
+from repro.check.walker import SourceFile
+
+
+def run_on(text: str, module: str = "repro.data.records"):
+    source = SourceFile.from_text(text, module=module)
+    return HygieneRule().run([source])
+
+
+def codes(found):
+    return [v.code for v in found]
+
+
+class TestPrint:
+    def test_print_in_library_flagged(self):
+        found = run_on("print('debug')\n")
+        assert codes(found) == ["hygiene/print"]
+        assert "repro.obs.logs" in found[0].message
+
+    def test_print_exempt_in_cli(self):
+        assert run_on("print('result')\n", module="repro.cli") == []
+        assert run_on("print('result')\n", module="repro.__main__") == []
+
+    def test_print_in_docstring_not_flagged(self):
+        assert run_on('"""Example:\n\n    print(x)\n"""\n') == []
+
+    def test_method_named_print_not_flagged(self):
+        assert run_on("reporter.print('x')\n") == []
+
+
+class TestMutableDefaults:
+    def test_list_literal_default_flagged(self):
+        found = run_on("def f(items=[]):\n    return items\n")
+        assert codes(found) == ["hygiene/mutable-default"]
+
+    def test_dict_call_default_flagged(self):
+        found = run_on("def f(*, opts=dict()):\n    return opts\n")
+        assert codes(found) == ["hygiene/mutable-default"]
+
+    def test_comprehension_default_flagged(self):
+        found = run_on("def f(xs=[i for i in range(3)]):\n    return xs\n")
+        assert codes(found) == ["hygiene/mutable-default"]
+
+    def test_none_and_tuple_defaults_allowed(self):
+        assert run_on("def f(items=None, pair=(1, 2), name='x'):\n    return items\n") == []
+
+    def test_lambda_default_flagged(self):
+        found = run_on("g = lambda xs=[]: xs\n")
+        assert codes(found) == ["hygiene/mutable-default"]
+
+
+class TestExceptClauses:
+    def test_bare_except_flagged(self):
+        found = run_on("try:\n    x = 1\nexcept:\n    x = 2\n")
+        assert codes(found) == ["hygiene/bare-except"]
+
+    def test_swallowed_except_flagged(self):
+        found = run_on("try:\n    x = 1\nexcept ValueError:\n    pass\n")
+        assert codes(found) == ["hygiene/swallowed-except"]
+
+    def test_bare_and_swallowed_both_flagged(self):
+        found = run_on("try:\n    x = 1\nexcept:\n    pass\n")
+        assert sorted(codes(found)) == ["hygiene/bare-except", "hygiene/swallowed-except"]
+
+    def test_handled_except_allowed(self):
+        text = "try:\n    x = 1\nexcept ValueError as exc:\n    raise RuntimeError(str(exc))\n"
+        assert run_on(text) == []
+
+    def test_pragma_suppresses_swallowed(self):
+        rule = HygieneRule()
+        source = SourceFile.from_text(
+            "try:\n    x = 1\nexcept OSError:  # repro: allow[hygiene] best-effort cleanup\n    pass\n",
+            module="repro.data.records",
+        )
+        assert rule.run([source]) == []
+        assert rule.suppressed == 1

@@ -1,0 +1,75 @@
+"""Tests for the import-layering rule."""
+
+from repro.check.layering import LAYER_DAG, LayeringRule
+from repro.check.walker import SourceFile
+
+
+def run_on(text: str, module: str):
+    source = SourceFile.from_text(text, path=f"src/{module.replace('.', '/')}.py", module=module)
+    return LayeringRule().run([source])
+
+
+class TestUpwardImports:
+    def test_kernel_importing_service_is_flagged(self):
+        found = run_on("from repro.serve.app import App\n", "repro.geo.coords")
+        assert len(found) == 1
+        assert found[0].code == "layering/upward-import"
+        assert "repro.serve" in found[0].message
+
+    def test_plain_import_form_flagged(self):
+        found = run_on("import repro.pipeline.graphs\n", "repro.stats.metrics")
+        assert [v.code for v in found] == ["layering/upward-import"]
+
+    def test_downward_import_is_clean(self):
+        assert run_on("from repro.geo.grid import Grid\n", "repro.data.records") == []
+
+    def test_sibling_within_package_is_clean(self):
+        assert run_on("from repro.geo.coords import haversine\n", "repro.geo.grid") == []
+
+    def test_root_modules_exempt(self):
+        assert run_on("from repro.serve.app import App\n", "repro.cli") == []
+        assert run_on("import repro.pipeline\n", "repro") == []
+
+    def test_import_of_package_root_flagged(self):
+        found = run_on("from repro import __version__\n", "repro.data.records")
+        assert [v.code for v in found] == ["layering/upward-import"]
+        assert "package root" in found[0].message
+
+    def test_from_repro_import_subpackage_uses_dag(self):
+        found = run_on("from repro import serve\n", "repro.geo.coords")
+        assert [v.code for v in found] == ["layering/upward-import"]
+
+    def test_relative_import_resolved(self):
+        # from .. import serve-equivalent: repro.geo.sub importing repro.geo is fine
+        assert run_on("from . import coords\n", "repro.geo.grid") == []
+
+
+class TestExemptionsAndEdges:
+    def test_type_checking_import_exempt(self):
+        text = (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.synth.population import World\n"
+        )
+        assert run_on(text, "repro.models.radiation_grid") == []
+
+    def test_unknown_package_flagged(self):
+        found = run_on("from repro.geo.grid import Grid\n", "repro.mystery.mod")
+        assert [v.code for v in found] == ["layering/unknown-package"]
+
+    def test_pragma_suppresses(self):
+        text = "from repro.serve.app import App  # repro: allow[layering] transitional\n"
+        rule = LayeringRule()
+        source = SourceFile.from_text(text, module="repro.geo.coords")
+        assert rule.run([source]) == []
+        assert rule.suppressed == 1
+
+    def test_dag_is_acyclic_and_closed(self):
+        # every allowed dep is itself in the map, and its allowed set is a subset
+        for package, allowed in LAYER_DAG.items():
+            for dep in allowed:
+                assert dep in LAYER_DAG, f"{package} allows unknown {dep}"
+                assert LAYER_DAG[dep] <= allowed, (
+                    f"{package} -> {dep} is not transitively closed"
+                )
+                assert package not in LAYER_DAG[dep], f"cycle {package} <-> {dep}"

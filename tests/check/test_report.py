@@ -1,0 +1,69 @@
+"""Reporter tests: JSON schema stability and text rendering."""
+
+import json
+
+from repro.check.report import JSON_REPORT_KEYS, render_json, render_text
+from repro.check.runner import run_check
+
+VIOLATING = "import time\nstamp = time.time()\n"
+
+
+class TestJsonReport:
+    def test_schema_keys_exact_and_ordered(self, make_project):
+        root = make_project({"stats/mod.py": VIOLATING})
+        payload = json.loads(render_json(run_check(root=root)))
+        assert tuple(payload.keys()) == JSON_REPORT_KEYS
+
+    def test_counts_consistent_with_lists(self, make_project):
+        root = make_project({"stats/mod.py": VIOLATING, "geo/ok.py": "x = 1\n"})
+        result = run_check(root=root)
+        payload = json.loads(render_json(result))
+        assert payload["counts"]["new"] == len(payload["new_violations"]) == 1
+        assert payload["counts"]["baselined"] == len(payload["baselined_violations"]) == 0
+        assert payload["counts"]["by_rule"] == {"determinism": 1}
+        assert payload["ok"] is False
+        assert payload["files_scanned"] == result.files_scanned
+
+    def test_violation_dict_fields(self, make_project):
+        root = make_project({"stats/mod.py": VIOLATING})
+        payload = json.loads(render_json(run_check(root=root)))
+        violation = payload["new_violations"][0]
+        assert violation["code"] == "determinism/wall-clock"
+        assert violation["path"] == "src/repro/stats/mod.py"
+        assert violation["module"] == "repro.stats.mod"
+        assert violation["line"] == 2
+        assert violation["snippet"] == "stamp = time.time()"
+        assert len(violation["fingerprint"]) == 20
+
+    def test_clean_run_is_ok(self, make_project):
+        root = make_project({"geo/ok.py": "x = 1\n"})
+        payload = json.loads(render_json(run_check(root=root)))
+        assert payload["ok"] is True
+        assert payload["new_violations"] == []
+
+
+class TestTextReport:
+    def test_violation_line_and_summary(self, make_project):
+        root = make_project({"stats/mod.py": VIOLATING})
+        text = render_text(run_check(root=root))
+        assert "src/repro/stats/mod.py:2:9: [determinism/wall-clock]" in text
+        assert "    stamp = time.time()" in text
+        assert "1 new violation(s)" in text
+        assert "by rule: determinism=1" in text
+
+    def test_baselined_hidden_unless_verbose(self, make_project):
+        root = make_project({"stats/mod.py": VIOLATING})
+        run_check(root=root, record=True)
+        result = run_check(root=root)
+        assert "accepted debt" not in render_text(result)
+        verbose = render_text(result, verbose_baselined=True)
+        assert "baselined (accepted debt):" in verbose
+        assert "0 new violation(s), 1 baselined" in verbose
+
+    def test_stale_note_rendered(self, make_project):
+        root = make_project({"stats/mod.py": VIOLATING})
+        run_check(root=root, record=True)
+        src = root / "src" / "repro" / "stats" / "mod.py"
+        src.write_text("x = 1\n", encoding="utf-8")
+        text = render_text(run_check(root=root))
+        assert "re-record with 'repro check --baseline'" in text

@@ -1,0 +1,112 @@
+"""Tests for repro.check.walker: parsing, pragmas, module naming."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check.walker import (
+    CheckConfigError,
+    SourceFile,
+    extract_pragmas,
+    iter_source_files,
+    module_name_for,
+    type_checking_spans,
+)
+
+
+class TestPragmas:
+    def test_same_line_pragma(self):
+        pragmas = extract_pragmas(("x = 1  # repro: allow[determinism] reason",))
+        assert pragmas == {1: frozenset({"determinism"})}
+
+    def test_comment_line_covers_next_line(self):
+        pragmas = extract_pragmas(
+            ("# repro: allow[concurrency] benign race", "self.x = 1")
+        )
+        assert pragmas[1] == frozenset({"concurrency"})
+        assert pragmas[2] == frozenset({"concurrency"})
+
+    def test_trailing_pragma_does_not_cover_next_line(self):
+        pragmas = extract_pragmas(("x = 1  # repro: allow[hygiene]", "y = 2"))
+        assert 2 not in pragmas
+
+    def test_multiple_rules_and_specific_codes(self):
+        pragmas = extract_pragmas(
+            ("x = 1  # repro: allow[determinism, hygiene/print]",)
+        )
+        assert pragmas[1] == frozenset({"determinism", "hygiene/print"})
+
+    def test_non_pragma_comments_ignored(self):
+        assert extract_pragmas(("x = 1  # repro: disallow[x]", "# plain")) == {}
+
+    def test_allowed_checks_span(self):
+        source = SourceFile.from_text(
+            "value = (\n    1\n)  # repro: allow[hygiene]\n"
+        )
+        assert source.allowed((1, 3), frozenset({"hygiene"}))
+        assert not source.allowed((1, 2), frozenset({"hygiene"}))
+        assert not source.allowed((1, 3), frozenset({"layering"}))
+
+
+class TestModuleNaming:
+    def test_plain_module(self):
+        src = Path("/x/src/repro")
+        assert module_name_for(src / "serve" / "app.py", src) == "repro.serve.app"
+
+    def test_package_init(self):
+        src = Path("/x/src/repro")
+        assert module_name_for(src / "geo" / "__init__.py", src) == "repro.geo"
+
+    def test_package_property(self):
+        assert SourceFile.from_text("", module="repro.geo.coords").package == "geo"
+        assert SourceFile.from_text("", module="repro.cli").package == "<root>"
+        assert SourceFile.from_text("", module="repro").package == "<root>"
+
+    def test_subpackage_init_is_its_package_not_root(self):
+        # regression: "repro.geo" (geo/__init__.py) must get geo's rules —
+        # only true root modules (cli.py, __main__.py, repro/__init__.py)
+        # are exempt from layering.
+        source = SourceFile.from_text(
+            "", path="src/repro/geo/__init__.py", module="repro.geo"
+        )
+        assert source.package == "geo"
+        root_init = SourceFile.from_text(
+            "", path="src/repro/__init__.py", module="repro"
+        )
+        assert root_init.package == "<root>"
+
+
+class TestIteration:
+    def test_walks_sorted_and_names_modules(self, make_project):
+        root = make_project(
+            {"geo/coords.py": "x = 1\n", "stats/metrics.py": "y = 2\n"}
+        )
+        sources = list(iter_source_files(root / "src" / "repro"))
+        modules = [s.module for s in sources]
+        assert modules == sorted(modules)
+        assert "repro.geo.coords" in modules
+        assert all(s.path.startswith("src/repro/") for s in sources)
+
+    def test_syntax_error_is_loud(self, make_project):
+        root = make_project({"geo/bad.py": "def broken(:\n"})
+        with pytest.raises(CheckConfigError, match="cannot parse"):
+            list(iter_source_files(root / "src" / "repro"))
+
+
+class TestTypeCheckingSpans:
+    def test_span_covers_guarded_imports(self):
+        source = SourceFile.from_text(
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.synth.population import World\n"
+            "    from repro.serve.app import App\n"
+            "x = 1\n"
+        )
+        spans = type_checking_spans(source.tree)
+        assert spans == [(3, 4)]
+
+    def test_attribute_form(self):
+        source = SourceFile.from_text(
+            "import typing\nif typing.TYPE_CHECKING:\n    import repro.serve\n"
+        )
+        assert type_checking_spans(source.tree) == [(3, 3)]

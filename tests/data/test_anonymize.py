@@ -6,9 +6,9 @@ import pytest
 from repro.data.anonymize import (
     coarsen_coordinates,
     jitter_coordinates,
-    k_anonymity_report,
     pseudonymize_users,
 )
+from repro.extraction.privacy import k_anonymity_report
 from repro.data.gazetteer import Scale, areas_for_scale, search_radius_km
 from repro.geo.distance import points_to_point_km
 
