@@ -1,0 +1,148 @@
+"""P5 — kernel-layer labelling throughput benchmark.
+
+Replays a time-ordered synthetic tweet stream (~100k tweets at the CLI
+default) through two labelling paths:
+
+* **legacy scalar** — the per-tweet linear scan over area centres that
+  ``repro.stream.online`` used before the ``repro.core`` kernel layer.
+  The implementation is preserved *here only*, as the benchmark
+  baseline; the source tree has exactly one labelling implementation.
+* **micro-batched** — :class:`repro.core.label.MicroBatchLabeler`
+  flushing the dense vectorised kernel every ``--batch-size`` tweets,
+  which is what the streaming counters and the ingest endpoint now run.
+
+Emits a JSON summary (stdout or ``--out``), e.g.::
+
+    python benchmarks/bench_core.py --users 10000 --out p5.json
+
+The script asserts the acceptance guarantees while measuring: both
+paths produce identical labels over the whole replay, and the
+micro-batched path is at least :data:`MIN_SPEEDUP`× faster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core.label import DEFAULT_MICRO_BATCH, MicroBatchLabeler
+from repro.core.world import World
+from repro.data.gazetteer import Scale
+from repro.geo.distance import haversine_km
+from repro.synth import SynthConfig, generate_corpus
+
+#: ~10 tweets per synthetic user, so 10k users replay ~100k tweets.
+DEFAULT_USERS = 10_000
+DEFAULT_SEED = 20150413
+
+#: Acceptance floor: micro-batched labelling must beat the legacy
+#: per-tweet scalar path by at least this factor.
+MIN_SPEEDUP = 5.0
+
+
+def _legacy_scalar_label(world: World, lat: float, lon: float) -> int:
+    """The pre-core per-tweet linear scan (benchmark baseline only).
+
+    Verbatim semantics of the deleted ``stream.online._nearest_area_within``:
+    scalar haversine per centre, nearest-within-ε, ties to the earlier
+    area.  Kept exclusively in this benchmark as the comparison target.
+    """
+    best = -1
+    best_distance = world.radius_km
+    for index, area in enumerate(world.areas):
+        distance = haversine_km((lat, lon), (area.center.lat, area.center.lon))
+        if distance <= best_distance and (distance < best_distance or best == -1):
+            best, best_distance = index, distance
+    return best
+
+
+def run_benchmark(users: int, seed: int, batch_size: int) -> dict:
+    """Scalar-vs-micro-batched replay timings plus agreement counters."""
+    world = World.from_scale(Scale.NATIONAL)
+    corpus = generate_corpus(SynthConfig(n_users=users, seed=seed)).corpus
+    order = np.argsort(corpus.timestamps, kind="stable")
+    tweets = list(corpus.iter_tweets())
+    replay = [tweets[i] for i in order]
+
+    start = time.perf_counter()
+    scalar_labels = [
+        _legacy_scalar_label(world, tweet.lat, tweet.lon) for tweet in replay
+    ]
+    scalar_seconds = time.perf_counter() - start
+
+    labeler = MicroBatchLabeler(world, batch_size=batch_size)
+    start = time.perf_counter()
+    micro_labels = [label for _, label in labeler.label_stream(replay)]
+    micro_seconds = time.perf_counter() - start
+
+    mismatches = int(
+        (np.asarray(scalar_labels) != np.asarray(micro_labels)).sum()
+    )
+    speedup = scalar_seconds / max(micro_seconds, 1e-9)
+    n = len(replay)
+
+    assert mismatches == 0, f"{mismatches} labels differ between paths"
+    assert speedup >= MIN_SPEEDUP, (
+        f"micro-batched speedup {speedup:.1f}x below the {MIN_SPEEDUP}x floor"
+    )
+
+    return {
+        "users": users,
+        "seed": seed,
+        "replay_tweets": n,
+        "areas": world.n_areas,
+        "radius_km": world.radius_km,
+        "batch_size": batch_size,
+        "scalar_seconds": round(scalar_seconds, 3),
+        "micro_batched_seconds": round(micro_seconds, 3),
+        "scalar_tweets_per_sec": round(n / max(scalar_seconds, 1e-9)),
+        "micro_batched_tweets_per_sec": round(n / max(micro_seconds, 1e-9)),
+        "speedup": round(speedup, 1),
+        "label_mismatches": mismatches,
+        "labelled_fraction": round(
+            float((np.asarray(micro_labels) >= 0).mean()), 4
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=DEFAULT_USERS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--batch-size", type=int, default=DEFAULT_MICRO_BATCH)
+    parser.add_argument("--out", help="write the JSON summary here (else stdout)")
+    args = parser.parse_args(argv)
+
+    summary = run_benchmark(args.users, args.seed, args.batch_size)
+
+    text = json.dumps(summary, indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def test_core_labelling_speedup():
+    """Harness entry: small-scale scalar vs micro-batched replay.
+
+    A ~20k-tweet replay keeps the check in the seconds range under
+    pytest while still amortising the vectorised dispatch cost.
+    """
+    summary = run_benchmark(
+        users=2_000, seed=DEFAULT_SEED, batch_size=DEFAULT_MICRO_BATCH
+    )
+    print()
+    print(json.dumps(summary, indent=2))
+    assert summary["label_mismatches"] == 0
+    assert summary["speedup"] >= MIN_SPEEDUP
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

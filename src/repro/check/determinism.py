@@ -62,7 +62,7 @@ SEEDABLE_CONSTRUCTORS = frozenset(
 #: never sees.
 KERNEL_PACKAGES = frozenset(
     {
-        "geo", "stats", "data", "synth", "extraction", "models",
+        "geo", "stats", "data", "core", "synth", "extraction", "models",
         "epidemic", "stream", "experiments",
     }
 )

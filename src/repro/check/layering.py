@@ -6,18 +6,21 @@ bottom, orchestration above them, service/tooling on top::
     geo   stats   obs                 (L0: pure kernels + log substrate)
         \   |   /
           data                       (L1: records, gazetteer, I/O)
-        /   |   \
-    synth extraction models          (L2: generation + estimation kernels)
-        \   |   /
-    epidemic stream viz              (L3: domain extensions)
+        /   |
+    synth core                       (L2: generation + domain kernels
+        \   |  \                          — World, labelling, accumulators)
+         \  |   \
+          extraction models          (L3: batch estimation adapters)
+            \   |   /
+    epidemic stream viz              (L4: domain extensions)
           |
-      experiments                    (L4: paper artefacts)
+      experiments                    (L5: paper artefacts)
           |
-       pipeline                      (L5: cached DAG orchestration)
+       pipeline                      (L6: cached DAG orchestration)
           |
-        serve                        (L6: online service)
+        serve                        (L7: online service)
           |
-     cli / check / <root>            (L7: entry points and tooling)
+     cli / check / <root>            (L8: entry points and tooling)
 
 An import is legal when the target package appears in the source
 package's allowed set below (its transitive closure is spelled out
@@ -45,27 +48,32 @@ LAYER_DAG: dict[str, frozenset[str]] = {
     "check": frozenset(),  # the analyzer itself stays dependency-free
     "data": frozenset({"geo", "stats"}),
     "synth": frozenset({"geo", "stats", "data"}),
-    "extraction": frozenset({"geo", "stats", "obs", "data"}),
-    "models": frozenset({"geo", "stats", "obs", "data", "extraction"}),
-    "epidemic": frozenset({"geo", "stats", "obs", "data", "extraction", "models"}),
-    "stream": frozenset({"geo", "stats", "obs", "data", "extraction", "models"}),
-    "viz": frozenset({"geo", "stats", "obs", "data", "extraction"}),
+    "core": frozenset({"geo", "stats", "obs", "data"}),
+    "extraction": frozenset({"geo", "stats", "obs", "data", "core"}),
+    "models": frozenset({"geo", "stats", "obs", "data", "core", "extraction"}),
+    "epidemic": frozenset(
+        {"geo", "stats", "obs", "data", "core", "extraction", "models"}
+    ),
+    "stream": frozenset(
+        {"geo", "stats", "obs", "data", "core", "extraction", "models"}
+    ),
+    "viz": frozenset({"geo", "stats", "obs", "data", "core", "extraction"}),
     "experiments": frozenset(
         {
-            "geo", "stats", "obs", "data", "synth", "extraction", "models",
-            "epidemic", "stream", "viz",
+            "geo", "stats", "obs", "data", "core", "synth", "extraction",
+            "models", "epidemic", "stream", "viz",
         }
     ),
     "pipeline": frozenset(
         {
-            "geo", "stats", "obs", "data", "synth", "extraction", "models",
-            "epidemic", "stream", "viz", "experiments",
+            "geo", "stats", "obs", "data", "core", "synth", "extraction",
+            "models", "epidemic", "stream", "viz", "experiments",
         }
     ),
     "serve": frozenset(
         {
-            "geo", "stats", "obs", "data", "synth", "extraction", "models",
-            "epidemic", "stream", "viz", "experiments", "pipeline",
+            "geo", "stats", "obs", "data", "core", "synth", "extraction",
+            "models", "epidemic", "stream", "viz", "experiments", "pipeline",
         }
     ),
 }

@@ -33,7 +33,7 @@ import time
 
 import repro
 from repro.data.corpus import TweetCorpus
-from repro.data.gazetteer import Scale, areas_for_scale
+from repro.data.gazetteer import Scale
 from repro.data.io import DataFormatError, read_tweets_csv, write_tweets_csv
 from repro.epidemic import arrival_times, network_from_model
 from repro.experiments import (
@@ -551,7 +551,7 @@ def _cmd_epidemic(args: argparse.Namespace) -> int:
         fitted = GravityModel(4).fit(pairs)
     else:
         fitted = RadiationModel.from_flows(flows).fit(pairs)
-    network = network_from_model(fitted, areas_for_scale(Scale.NATIONAL))
+    network = network_from_model(fitted, context.world(Scale.NATIONAL))
     gamma = 0.2
     beta = args.r0 * gamma
     print(

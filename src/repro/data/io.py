@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 
 import numpy as np
 
-from repro.data.schema import SchemaError, Tweet
+from repro.data.schema import SchemaError, Tweet, parse_tweet_record
 
 if TYPE_CHECKING:
     from repro.data.corpus import TweetCorpus
@@ -62,14 +62,8 @@ def read_tweets_csv(path: str | Path) -> Iterator[Tweet]:
             if len(row) != len(CSV_FIELDS):
                 raise DataFormatError(f"{path}:{line_no}: expected {len(CSV_FIELDS)} fields")
             try:
-                yield Tweet(
-                    tweet_id=int(row[0]),
-                    user_id=int(row[1]),
-                    timestamp=float(row[2]),
-                    lat=float(row[3]),
-                    lon=float(row[4]),
-                )
-            except (ValueError, SchemaError) as exc:
+                yield parse_tweet_record(dict(zip(CSV_FIELDS, row)))
+            except SchemaError as exc:
                 raise DataFormatError(f"{path}:{line_no}: {exc}") from exc
 
 
@@ -103,15 +97,8 @@ def read_tweets_jsonl(path: str | Path) -> Iterator[Tweet]:
             if not line:
                 continue
             try:
-                record = json.loads(line)
-                yield Tweet(
-                    tweet_id=int(record.get("tweet_id", -1)),
-                    user_id=int(record["user_id"]),
-                    timestamp=float(record["timestamp"]),
-                    lat=float(record["lat"]),
-                    lon=float(record["lon"]),
-                )
-            except (KeyError, TypeError, ValueError, SchemaError) as exc:
+                yield parse_tweet_record(json.loads(line))
+            except (ValueError, SchemaError) as exc:
                 raise DataFormatError(f"{path}:{line_no}: {exc}") from exc
 
 

@@ -1,16 +1,28 @@
-"""Tweet and user record types.
+"""Tweet and user record types, and the canonical record parser.
 
 A geo-tagged tweet, for the purposes of this study, is four numbers: who
 sent it, when, and where (latitude/longitude).  The paper uses no text or
 social-graph features, so neither do we.
+
+:func:`parse_tweet_record` is the single parser every ingress shares —
+the CSV/JSONL readers in :mod:`repro.data.io` and the HTTP ingest
+endpoint in ``repro.serve`` — so a malformed ``lat``/``lon``/``timestamp``
+produces the same :class:`SchemaError` message no matter which door the
+record came through.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
 
-from repro.geo.coords import Coordinate, validate_latitude, validate_longitude
+from repro.geo.coords import (
+    Coordinate,
+    CoordinateError,
+    validate_latitude,
+    validate_longitude,
+)
 
 
 class SchemaError(ValueError):
@@ -51,6 +63,52 @@ class Tweet:
     def coordinate(self) -> Coordinate:
         """The geo-tag as a :class:`~repro.geo.coords.Coordinate`."""
         return Coordinate(lat=self.lat, lon=self.lon)
+
+
+_MISSING = object()
+
+
+def _convert_field(
+    record: Mapping[str, Any],
+    name: str,
+    converter: Callable[[Any], Any],
+    default: Any = _MISSING,
+) -> Any:
+    value = record.get(name, _MISSING)
+    if value is _MISSING:
+        if default is not _MISSING:
+            return default
+        raise SchemaError(f"tweet missing field {name!r}")
+    try:
+        return converter(value)
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(
+            f"tweet field {name!r} is invalid: {value!r} ({exc})"
+        ) from exc
+
+
+def parse_tweet_record(record: Mapping[str, Any]) -> Tweet:
+    """Build a validated :class:`Tweet` from one mapping (JSON object, CSV row).
+
+    The canonical ingress parser: missing fields, unconvertible values
+    and out-of-range coordinates/timestamps all raise
+    :class:`SchemaError` with a message naming the offending field, so
+    batch file loaders and the live ingest endpoint report malformed
+    records identically.
+    """
+    if not isinstance(record, Mapping):
+        raise SchemaError(f"tweet must be an object, got {type(record).__name__}")
+    user_id = _convert_field(record, "user_id", int)
+    timestamp = _convert_field(record, "timestamp", float)
+    lat = _convert_field(record, "lat", float)
+    lon = _convert_field(record, "lon", float)
+    tweet_id = _convert_field(record, "tweet_id", int, default=-1)
+    try:
+        return Tweet(
+            user_id=user_id, timestamp=timestamp, lat=lat, lon=lon, tweet_id=tweet_id
+        )
+    except CoordinateError as exc:
+        raise SchemaError(str(exc)) from exc
 
 
 @dataclass(frozen=True, slots=True)

@@ -16,6 +16,7 @@ from typing import Sequence
 import networkx as nx
 import numpy as np
 
+from repro.core.world import World
 from repro.data.gazetteer import Area
 from repro.extraction.mobility import ODFlows, ODPairs
 from repro.geo.distance import pairwise_distance_matrix
@@ -102,7 +103,7 @@ def network_from_flows(
 
 def network_from_model(
     fitted: FittedMobilityModel,
-    areas: Sequence[Area],
+    areas: Sequence[Area] | World,
     trips_per_person_per_day: float = 0.05,
 ) -> MobilityNetwork:
     """Build a network from a fitted model over census populations.
@@ -110,10 +111,19 @@ def network_from_model(
     This is the paper's Section IV proposal made concrete: replace the
     Twitter-extracted flows with the model's estimates (computed from
     census m, n and the real distances) and couple patches with those.
+
+    Passing a :class:`~repro.core.world.World` reuses its cached centre
+    distance matrix; a bare area sequence recomputes the distances.
     """
-    populations = np.array([a.population for a in areas], dtype=np.float64)
-    distances = pairwise_distance_matrix([a.center for a in areas])
-    n = len(areas)
+    if isinstance(areas, World):
+        names = areas.names
+        populations = areas.populations
+        distances = areas.distance_matrix_km
+    else:
+        names = tuple(a.name for a in areas)
+        populations = np.array([a.population for a in areas], dtype=np.float64)
+        distances = pairwise_distance_matrix([a.center for a in areas])
+    n = len(names)
     source, dest = np.nonzero(~np.eye(n, dtype=bool))
     pairs = ODPairs(
         source=source,
@@ -127,7 +137,7 @@ def network_from_model(
     matrix = np.zeros((n, n), dtype=np.float64)
     matrix[source, dest] = np.maximum(estimates, 0.0)
     return MobilityNetwork(
-        names=tuple(a.name for a in areas),
+        names=names,
         populations=populations,
         rates=_rates_from_trip_matrix(matrix, populations, trips_per_person_per_day),
     )

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.corpus import TweetCorpus
-from repro.data.gazetteer import Scale, areas_for_scale
+from repro.data.gazetteer import Scale
 from repro.epidemic.inference import SirFit, fit_sir_curve
 from repro.epidemic.network import MobilityNetwork, network_from_model
 from repro.epidemic.seir import SEIRParams, simulate_seir
@@ -89,8 +89,7 @@ def run_forecast_experiment(
         context = ExperimentContext(corpus_or_context)
     pairs = context.flows(Scale.NATIONAL).pairs()
     fitted_gravity = GravityModel(2).fit(pairs)
-    areas = areas_for_scale(Scale.NATIONAL)
-    network = network_from_model(fitted_gravity, areas)
+    network = network_from_model(fitted_gravity, context.world(Scale.NATIONAL))
     seed_index = network.names.index(seed_city)
 
     truth = simulate_stochastic_sir(

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.world import World
 from repro.data.corpus import TweetCorpus
-from repro.data.gazetteer import Area, Scale, areas_for_scale, search_radius_km
+from repro.data.gazetteer import Area, Scale
 from repro.extraction.mobility import ODFlows, extract_od_flows
 from repro.extraction.population import (
     AreaObservation,
@@ -23,11 +24,20 @@ from repro.geo.index import GridIndex
 
 @dataclass(frozen=True, slots=True)
 class ScaleSpec:
-    """One geographic scale: its areas and its search radius ε."""
+    """One geographic scale: its :class:`World` (areas + search radius ε)."""
 
     scale: Scale
-    areas: tuple[Area, ...]
-    radius_km: float
+    world: World
+
+    @property
+    def areas(self) -> tuple[Area, ...]:
+        """The scale's study areas (from the world)."""
+        return self.world.areas
+
+    @property
+    def radius_km(self) -> float:
+        """The scale's default search radius ε (from the world)."""
+        return self.world.radius_km
 
     @property
     def label(self) -> str:
@@ -38,12 +48,7 @@ class ScaleSpec:
 def default_scale_specs() -> tuple[ScaleSpec, ...]:
     """The paper's three scales with their Section III radii."""
     return tuple(
-        ScaleSpec(
-            scale=scale,
-            areas=areas_for_scale(scale),
-            radius_km=search_radius_km(scale),
-        )
-        for scale in Scale
+        ScaleSpec(scale=scale, world=World.from_scale(scale)) for scale in Scale
     )
 
 
@@ -54,6 +59,7 @@ class ExperimentContext:
         self.corpus = corpus
         self.specs = default_scale_specs()
         self._index = index
+        self._worlds: dict[tuple[Scale, float], World] = {}
         self._observations: dict[tuple[Scale, float], list[AreaObservation]] = {}
         self._labels: dict[tuple[Scale, float], "object"] = {}
         self._flows: dict[tuple[Scale, float], ODFlows] = {}
@@ -72,6 +78,21 @@ class ExperimentContext:
                 return spec
         raise KeyError(scale)
 
+    def world(self, scale: Scale, radius_km: float | None = None) -> World:
+        """The (cached) world for a scale, optionally at a non-default ε.
+
+        Worlds are memoised per ``(scale, radius)`` so derived geometry
+        (distance matrices, centre columns) is computed at most once per
+        radius across a whole experiment suite.
+        """
+        spec = self.spec(scale)
+        if radius_km is None or radius_km == spec.radius_km:
+            return spec.world
+        key = (scale, radius_km)
+        if key not in self._worlds:
+            self._worlds[key] = spec.world.with_radius(radius_km)
+        return self._worlds[key]
+
     def observations(
         self, scale: Scale, radius_km: float | None = None
     ) -> list[AreaObservation]:
@@ -81,7 +102,7 @@ class ExperimentContext:
         key = (scale, radius)
         if key not in self._observations:
             self._observations[key] = extract_area_observations(
-                self.corpus, spec.areas, radius, index=self.index
+                self.corpus, self.world(scale, radius), radius, index=self.index
             )
         return self._observations[key]
 
@@ -92,7 +113,7 @@ class ExperimentContext:
         key = (scale, radius)
         if key not in self._labels:
             self._labels[key] = assign_tweets_to_areas(
-                self.corpus, spec.areas, radius, index=self.index
+                self.corpus, self.world(scale, radius), radius, index=self.index
             )
         return self._labels[key]
 

@@ -17,6 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import obs
+from repro.core.accumulate import od_matrix_from_labels
 from repro.data.corpus import TweetCorpus
 from repro.data.gazetteer import Area
 from repro.geo.distance import pairwise_distance_matrix
@@ -123,20 +124,9 @@ def extract_od_flows(
     if area_labels.shape != corpus.user_ids.shape:
         raise ValueError("labels must align with corpus rows")
     n = len(areas)
-    if area_labels.size and area_labels.max() >= n:
-        raise ValueError("label index exceeds number of areas")
     with obs.span("extract_od_flows", areas=n, tweets=len(corpus)) as sp:
-        matrix = np.zeros((n, n), dtype=np.int64)
-        transitions = 0
-        if len(corpus) >= 2:
-            same_user = corpus.user_ids[1:] == corpus.user_ids[:-1]
-            src = area_labels[:-1]
-            dst = area_labels[1:]
-            valid = same_user & (src >= 0) & (dst >= 0) & (src != dst)
-            np.add.at(matrix, (src[valid], dst[valid]), 1)
-            transitions = int(valid.sum())
+        matrix, transitions = od_matrix_from_labels(corpus.user_ids, area_labels, n)
         sp.set(transitions=transitions)
-    obs.counter("extraction.tweets_scanned", len(corpus))
     obs.counter("extraction.od_transitions", transitions)
     return ODFlows(areas=tuple(areas), matrix=matrix)
 

@@ -9,6 +9,11 @@ population" that Fig 3 correlates with census population.
 The same radius machinery also produces a per-tweet area label for the
 OD extraction of Section IV: a tweet belongs to the *nearest* area whose
 ε-disc contains it, or to no area at all.
+
+The counting itself lives in the kernel layer — :mod:`repro.core.label`
+— which batch, streaming and serving all share.  This module is the
+batch adapter: it binds the kernels to :class:`TweetCorpus` columns and
+wraps the results in the paper's artefact types.
 """
 
 from __future__ import annotations
@@ -18,7 +23,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro import obs
+from repro.core.label import build_index, count_population, label_corpus
+from repro.core.world import World
 from repro.data.corpus import TweetCorpus
 from repro.data.gazetteer import Area
 from repro.geo.index import BruteForceIndex, GridIndex
@@ -43,15 +49,15 @@ class AreaObservation:
         return self.area.population
 
 
-def _build_index(corpus: TweetCorpus, use_grid: bool) -> GridIndex | BruteForceIndex:
-    if use_grid:
-        return GridIndex(corpus.lats, corpus.lons)
-    return BruteForceIndex(corpus.lats, corpus.lons)
+def _as_world(areas: Sequence[Area] | World, radius_km: float) -> World:
+    if isinstance(areas, World):
+        return areas.with_radius(radius_km)
+    return World.from_areas(areas, radius_km)
 
 
 def extract_area_observations(
     corpus: TweetCorpus,
-    areas: Sequence[Area],
+    areas: Sequence[Area] | World,
     radius_km: float,
     index: GridIndex | BruteForceIndex | None = None,
 ) -> list[AreaObservation]:
@@ -62,7 +68,8 @@ def extract_area_observations(
     corpus:
         The tweet corpus to measure.
     areas:
-        The study areas (typically one gazetteer scale's 20 areas).
+        The study areas (typically one gazetteer scale's 20 areas), or a
+        prebuilt :class:`~repro.core.world.World` over them.
     radius_km:
         The search radius ε.
     index:
@@ -72,36 +79,28 @@ def extract_area_observations(
     """
     if radius_km <= 0:
         raise ValueError(f"radius must be positive, got {radius_km}")
+    world = _as_world(areas, radius_km)
     if index is None:
-        index = _build_index(corpus, use_grid=len(corpus) > 2000)
+        index = build_index(corpus.lats, corpus.lons)
     if len(index) != len(corpus):
         raise ValueError("index was built over a different corpus")
-    with obs.span(
-        "extract_area_observations", areas=len(areas), radius_km=radius_km
-    ) as sp:
-        observations = []
-        matched = 0
-        for area in areas:
-            result = index.query_radius(area.center, radius_km)
-            users_here = np.unique(corpus.user_ids[result.indices])
-            matched += len(result)
-            observations.append(
-                AreaObservation(
-                    area=area,
-                    radius_km=radius_km,
-                    n_tweets=len(result),
-                    n_users=int(users_here.size),
-                )
-            )
-        sp.set(tweets_matched=matched)
-    obs.counter("extraction.tweets_scanned", len(corpus))
-    obs.counter("extraction.area_queries", len(areas))
-    return observations
+    tweet_counts, user_counts = count_population(
+        world, corpus.lats, corpus.lons, corpus.user_ids, index=index
+    )
+    return [
+        AreaObservation(
+            area=area,
+            radius_km=world.radius_km,
+            n_tweets=int(tweet_counts[area_index]),
+            n_users=int(user_counts[area_index]),
+        )
+        for area_index, area in enumerate(world.areas)
+    ]
 
 
 def assign_tweets_to_areas(
     corpus: TweetCorpus,
-    areas: Sequence[Area],
+    areas: Sequence[Area] | World,
     radius_km: float,
     index: GridIndex | BruteForceIndex | None = None,
 ) -> np.ndarray:
@@ -109,29 +108,17 @@ def assign_tweets_to_areas(
 
     Overlapping discs (possible at national scale, where 50 km circles of
     neighbouring cities may intersect) are resolved by assigning the
-    tweet to the nearest qualifying centre.
+    tweet to the nearest qualifying centre — the core labelling kernel's
+    contract, shared bit-for-bit with the streaming path.
     """
     if radius_km <= 0:
         raise ValueError(f"radius must be positive, got {radius_km}")
+    world = _as_world(areas, radius_km)
     if index is None:
-        index = _build_index(corpus, use_grid=len(corpus) > 2000)
+        index = build_index(corpus.lats, corpus.lons)
     if len(index) != len(corpus):
         raise ValueError("index was built over a different corpus")
-    with obs.span(
-        "assign_tweets_to_areas", areas=len(areas), radius_km=radius_km
-    ) as sp:
-        labels = np.full(len(corpus), -1, dtype=np.int64)
-        best_distance = np.full(len(corpus), np.inf, dtype=np.float64)
-        for area_index, area in enumerate(areas):
-            result = index.query_radius(area.center, radius_km)
-            closer = result.distances_km < best_distance[result.indices]
-            rows = result.indices[closer]
-            labels[rows] = area_index
-            best_distance[rows] = result.distances_km[closer]
-        sp.set(labelled=int((labels >= 0).sum()))
-    obs.counter("extraction.tweets_scanned", len(corpus))
-    obs.counter("extraction.area_queries", len(areas))
-    return labels
+    return label_corpus(world, corpus.lats, corpus.lons, index=index)
 
 
 def twitter_population_arrays(

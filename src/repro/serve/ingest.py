@@ -19,8 +19,9 @@ import threading
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.world import World
 from repro.data.gazetteer import Area
-from repro.data.schema import SchemaError, Tweet
+from repro.data.schema import Tweet, parse_tweet_record
 from repro.stream.monitor import FlowAnomaly, MobilityMonitor
 
 
@@ -38,7 +39,7 @@ class IngestService:
 
     def __init__(
         self,
-        areas: Sequence[Area],
+        areas: Sequence[Area] | World,
         radius_km: float,
         window_seconds: float = 3600.0,
         **monitor_kwargs,
@@ -54,43 +55,34 @@ class IngestService:
     def parse_tweet(record: dict) -> Tweet:
         """Build a validated :class:`Tweet` from one JSON object.
 
+        Delegates to the canonical
+        :func:`~repro.data.schema.parse_tweet_record`, so HTTP clients
+        see exactly the error messages the batch file loaders produce.
         Raises :class:`~repro.data.schema.SchemaError` on missing or
         out-of-range fields.
         """
-        if not isinstance(record, dict):
-            raise SchemaError(f"tweet must be an object, got {type(record).__name__}")
-        try:
-            return Tweet(
-                user_id=int(record["user_id"]),
-                timestamp=float(record["timestamp"]),
-                lat=float(record["lat"]),
-                lon=float(record["lon"]),
-                tweet_id=int(record.get("tweet_id", -1)),
-            )
-        except KeyError as exc:
-            raise SchemaError(f"tweet missing field {exc.args[0]!r}") from exc
-        except (TypeError, ValueError) as exc:
-            raise SchemaError(str(exc)) from exc
+        return parse_tweet_record(record)
 
     def ingest(self, tweets: Sequence[Tweet]) -> IngestResult:
         """Push one batch through the monitor, oldest first.
 
         Within-batch disorder is repaired by sorting; tweets behind the
         monitor's high-water mark are dropped (counted, not an error).
+        The surviving batch is labelled in one vectorised pass
+        (:meth:`MobilityMonitor.push_batch`) — the same kernel the batch
+        extractors run.
         """
         ordered = sorted(tweets, key=lambda t: t.timestamp)
-        accepted = 0
-        dropped = 0
-        anomalies = 0
         with self._lock:
+            # The batch is ascending, so only a prefix can sit behind
+            # the monitor's high-water mark.
             watermark = self._monitor.counter._latest
-            for tweet in ordered:
-                if tweet.timestamp < watermark:
-                    dropped += 1
-                    continue
-                anomalies += len(self._monitor.push(tweet))
-                watermark = tweet.timestamp
+            keep = 0
+            while keep < len(ordered) and ordered[keep].timestamp < watermark:
+                keep += 1
+            dropped = keep
             accepted = len(ordered) - dropped
+            anomalies = len(self._monitor.push_batch(ordered[keep:]))
             self._accepted += accepted
             self._dropped_stale += dropped
         return IngestResult(

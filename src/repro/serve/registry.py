@@ -26,6 +26,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.core.world import World
 from repro.data.gazetteer import Area, Scale
 from repro.experiments.scales import ExperimentContext
 from repro.extraction.mobility import ODFlows, ODPairs
@@ -45,23 +46,37 @@ class RegistryError(RuntimeError):
 
 @dataclass(frozen=True)
 class ScaleSnapshot:
-    """Everything served for one geographic scale."""
+    """Everything served for one geographic scale.
+
+    The area system itself is the snapshot's :class:`World`; areas,
+    radius and the centre distance matrix are views onto it, so the
+    serving layer shares the exact geometry the extraction ran with.
+    """
 
     scale: Scale
-    areas: tuple[Area, ...]
-    radius_km: float
+    world: World
     observations: tuple[AreaObservation, ...]
     flows: ODFlows
-    distance_km: np.ndarray
     models: Mapping[str, FittedMobilityModel]
+
+    @property
+    def areas(self) -> tuple[Area, ...]:
+        """The scale's study areas (from the world)."""
+        return self.world.areas
+
+    @property
+    def radius_km(self) -> float:
+        """The search radius ε the snapshot was extracted at."""
+        return self.world.radius_km
+
+    @property
+    def distance_km(self) -> np.ndarray:
+        """Pairwise centre distances (the world's cached matrix)."""
+        return self.world.distance_matrix_km
 
     def area_index(self, name: str) -> int:
         """Index of an area by (case-insensitive) name; -1 if unknown."""
-        lowered = name.lower()
-        for index, area in enumerate(self.areas):
-            if area.name.lower() == lowered:
-                return index
-        return -1
+        return self.world.area_index(name)
 
     def predict_pairs(self, model_key: str, sources: np.ndarray, dests: np.ndarray) -> np.ndarray:
         """Vectorised flow predictions for index pairs (one model call)."""
@@ -129,11 +144,9 @@ def build_snapshot(store: ArtifactStore, manifest) -> Snapshot:
                 continue
         scales[spec.scale] = ScaleSnapshot(
             scale=spec.scale,
-            areas=spec.areas,
-            radius_km=spec.radius_km,
+            world=spec.world,
             observations=tuple(context.observations(spec.scale)),
             flows=flows,
-            distance_km=flows.distance_matrix_km(),
             models=models,
         )
     return Snapshot(

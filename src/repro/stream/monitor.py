@@ -15,6 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.world import World
 from repro.data.gazetteer import Area
 from repro.data.schema import Tweet
 from repro.extraction.mobility import ODFlows
@@ -58,7 +59,7 @@ class MobilityMonitor:
 
     def __init__(
         self,
-        areas: Sequence[Area],
+        areas: Sequence[Area] | World,
         radius_km: float,
         window_seconds: float,
         baseline_alpha: float = 0.3,
@@ -73,8 +74,9 @@ class MobilityMonitor:
             raise ValueError("anomaly_ratio must exceed 1")
         if warmup_checks is not None and warmup_checks < 1:
             raise ValueError("warmup_checks must be >= 1")
-        self.areas = tuple(areas)
         self.counter = OnlineMobilityCounter(areas, radius_km, window_seconds)
+        self.world = self.counter.world
+        self.areas = self.counter.areas
         self.baseline_alpha = baseline_alpha
         self.anomaly_ratio = anomaly_ratio
         self.min_flow = min_flow
@@ -97,13 +99,42 @@ class MobilityMonitor:
     def push(self, tweet: Tweet) -> list[FlowAnomaly]:
         """Ingest one tweet; returns anomalies raised by this check cycle."""
         self.counter.push(tweet)
+        return self._maybe_check(tweet.timestamp)
+
+    def push_batch(self, tweets: Sequence[Tweet]) -> list[FlowAnomaly]:
+        """Ingest a time-ordered batch; returns all anomalies raised.
+
+        The batch is labelled in one pass through the micro-batch kernel
+        (via :meth:`OnlineMobilityCounter.push_batch` chunks), while the
+        check/refit schedule fires exactly as it would under per-tweet
+        ``push`` — checks are driven by stream time, not call shape.
+        """
+        anomalies: list[FlowAnomaly] = []
+        start = 0
+        timestamps = [tweet.timestamp for tweet in tweets]
+        while start < len(tweets):
+            # Feed the counter up to (and including) the tweet that
+            # crosses the next check boundary, then run that check.
+            if self._next_check is None:
+                stop = start + 1
+            else:
+                stop = start
+                while stop < len(tweets) and timestamps[stop] < self._next_check:
+                    stop += 1
+                stop = min(stop + 1, len(tweets))
+            self.counter.push_batch(tweets[start:stop])
+            anomalies.extend(self._maybe_check(timestamps[stop - 1]))
+            start = stop
+        return anomalies
+
+    def _maybe_check(self, timestamp: float) -> list[FlowAnomaly]:
         if self._next_check is None:
-            self._next_check = tweet.timestamp + self.check_interval
+            self._next_check = timestamp + self.check_interval
             return []
-        if tweet.timestamp < self._next_check:
+        if timestamp < self._next_check:
             return []
-        self._next_check = tweet.timestamp + self.check_interval
-        return self._check(tweet.timestamp)
+        self._next_check = timestamp + self.check_interval
+        return self._check(timestamp)
 
     def check_now(self) -> list[FlowAnomaly]:
         """Force a check cycle at the current stream time.

@@ -11,103 +11,110 @@ current window:
   :func:`repro.extraction.mobility.extract_od_flows`
   (consecutive-pair transitions between labelled areas).
 
-The equivalences are asserted in the test suite by replaying a corpus
+Labelling and counting are the kernel layer's — :mod:`repro.core` — so
+the equivalences are structural: the stream runs the same vectorised
+arithmetic as the batch extractors (the old scalar per-tweet linear
+scan, whose float sequence could drift from the batch path at disc
+boundaries, is gone).  ``push`` ingests one tweet; ``push_batch``
+ingests a time-ordered batch and labels it through the micro-batch
+kernel, which is the hot path for replays and the ingest endpoint.
+The equivalences are asserted in the test suite by replaying corpora
 through the counters with an infinite window.
 """
 
 from __future__ import annotations
 
-from collections import Counter, deque
 from typing import Sequence
 
 import numpy as np
 
+from repro.core.accumulate import ODAccumulator, PopulationAccumulator
+from repro.core.label import containing_areas, label_point, label_points, membership_points
+from repro.core.world import World
 from repro.data.gazetteer import Area
 from repro.data.schema import Tweet
-from repro.geo.distance import haversine_km
-from repro.stream.window import SlidingWindow
+from repro.stream.window import SlidingWindow, StreamOrderError
 
 
-def _nearest_area_within(
-    areas: Sequence[Area], lat: float, lon: float, radius_km: float
-) -> int:
-    """Index of the nearest area whose ε-disc contains the point, or -1.
+def _as_world(areas: Sequence[Area] | World, radius_km: float) -> World:
+    if isinstance(areas, World):
+        return areas
+    if radius_km <= 0:
+        raise ValueError(f"radius must be positive, got {radius_km}")
+    return World.from_areas(areas, radius_km)
 
-    Scalar version of
-    :func:`repro.extraction.population.assign_tweets_to_areas` for
-    one-point-at-a-time streaming (the area sets are small — 20 areas —
-    so a linear scan beats index maintenance).
-    """
-    best = -1
-    best_distance = radius_km
-    for index, area in enumerate(areas):
-        d = haversine_km((lat, lon), area.center)
-        if d <= best_distance:
-            # `<=` keeps the boundary inclusive; ties keep the earlier
-            # area, matching the batch resolver's strict `<` update.
-            if d < best_distance or best == -1:
-                best = index
-                best_distance = d
-    return best
+
+def _batch_columns(tweets: Sequence[Tweet]) -> tuple[np.ndarray, np.ndarray]:
+    n = len(tweets)
+    lats = np.fromiter((t.lat for t in tweets), np.float64, count=n)
+    lons = np.fromiter((t.lon for t in tweets), np.float64, count=n)
+    return lats, lons
 
 
 class OnlinePopulationCounter:
     """Windowed per-area tweet and unique-user counts.
 
-    ``push`` each tweet in time order; read :meth:`tweet_counts` /
-    :meth:`user_counts` at any time for the current window's values.
+    ``push`` each tweet in time order (or ``push_batch`` ordered
+    batches); read :meth:`tweet_counts` / :meth:`user_counts` at any
+    time for the current window's values.
     """
 
     def __init__(
-        self, areas: Sequence[Area], radius_km: float, window_seconds: float = float("inf")
+        self,
+        areas: Sequence[Area] | World,
+        radius_km: float = 0.0,
+        window_seconds: float = float("inf"),
     ) -> None:
-        if radius_km <= 0:
-            raise ValueError(f"radius must be positive, got {radius_km}")
-        self.areas = tuple(areas)
-        self.radius_km = float(radius_km)
+        self.world = _as_world(areas, radius_km)
+        self.areas = self.world.areas
+        self.radius_km = self.world.radius_km
         self._window = (
             SlidingWindow(window_seconds) if np.isfinite(window_seconds) else None
         )
-        n = len(self.areas)
-        self._tweet_counts = np.zeros(n, dtype=np.int64)
-        self._users_per_area: list[Counter[int]] = [Counter() for _ in range(n)]
+        self._population = PopulationAccumulator(self.world.n_areas)
 
-    def _labels(self, tweet: Tweet) -> list[int]:
+    def _labels(self, tweet: Tweet) -> np.ndarray:
         """Every area whose ε-disc contains the tweet.
 
         Overlapping discs each count the tweet — matching the batch
         extractor, where each area's radius query is independent.
         """
-        return [
-            index
-            for index, area in enumerate(self.areas)
-            if haversine_km((tweet.lat, tweet.lon), area.center) <= self.radius_km
-        ]
+        return containing_areas(self.world, tweet.lat, tweet.lon)
 
     def push(self, tweet: Tweet) -> None:
         """Ingest one tweet (and expire anything that left the window)."""
-        for label in self._labels(tweet):
-            self._tweet_counts[label] += 1
-            self._users_per_area[label][tweet.user_id] += 1
+        self._population.add(self._labels(tweet), tweet.user_id)
         if self._window is not None:
             for expired in self._window.push(tweet):
                 self._remove(expired)
 
+    def push_batch(self, tweets: Sequence[Tweet]) -> None:
+        """Ingest a time-ordered batch, labelled through the dense kernel.
+
+        Equivalent to ``push`` per tweet — membership is a pure function
+        of the coordinates — but one vectorised membership computation
+        covers the whole batch.
+        """
+        if not tweets:
+            return
+        lats, lons = _batch_columns(tweets)
+        membership = membership_points(self.world, lats, lons)
+        for row, tweet in enumerate(tweets):
+            self._population.add(np.nonzero(membership[row])[0], tweet.user_id)
+            if self._window is not None:
+                for expired in self._window.push(tweet):
+                    self._remove(expired)
+
     def _remove(self, tweet: Tweet) -> None:
-        for label in self._labels(tweet):
-            self._tweet_counts[label] -= 1
-            users = self._users_per_area[label]
-            users[tweet.user_id] -= 1
-            if users[tweet.user_id] <= 0:
-                del users[tweet.user_id]
+        self._population.remove(self._labels(tweet), tweet.user_id)
 
     def tweet_counts(self) -> np.ndarray:
         """Tweets per area in the current window."""
-        return self._tweet_counts.copy()
+        return self._population.tweet_counts()
 
     def user_counts(self) -> np.ndarray:
         """Unique users per area in the current window."""
-        return np.array([len(c) for c in self._users_per_area], dtype=np.int64)
+        return self._population.user_counts()
 
 
 class OnlineMobilityCounter:
@@ -121,41 +128,50 @@ class OnlineMobilityCounter:
     """
 
     def __init__(
-        self, areas: Sequence[Area], radius_km: float, window_seconds: float = float("inf")
+        self,
+        areas: Sequence[Area] | World,
+        radius_km: float = 0.0,
+        window_seconds: float = float("inf"),
     ) -> None:
-        if radius_km <= 0:
-            raise ValueError(f"radius must be positive, got {radius_km}")
-        self.areas = tuple(areas)
-        self.radius_km = float(radius_km)
+        self.world = _as_world(areas, radius_km)
+        self.areas = self.world.areas
+        self.radius_km = self.world.radius_km
         self.window_seconds = float(window_seconds)
-        n = len(self.areas)
-        self._matrix = np.zeros((n, n), dtype=np.int64)
-        self._last_label: dict[int, int] = {}
-        self._events: deque[tuple[float, int, int]] = deque()
+        self._flows = ODAccumulator(self.world.n_areas)
         self._latest = float("-inf")
 
     def push(self, tweet: Tweet) -> None:
         """Ingest one tweet in time order."""
-        if tweet.timestamp < self._latest:
-            from repro.stream.window import StreamOrderError
+        label = label_point(self.world, tweet.lat, tweet.lon)
+        self._push_labeled(tweet, label)
 
+    def push_batch(self, tweets: Sequence[Tweet]) -> None:
+        """Ingest a time-ordered batch, labelled through the dense kernel.
+
+        Labels are precomputed in one vectorised pass (they depend only
+        on coordinates), then applied sequentially so ordering checks,
+        transition recording and window expiry behave exactly as a
+        ``push`` per tweet.
+        """
+        if not tweets:
+            return
+        lats, lons = _batch_columns(tweets)
+        labels = label_points(self.world, lats, lons)
+        for tweet, label in zip(tweets, labels):
+            self._push_labeled(tweet, int(label))
+
+    def _push_labeled(self, tweet: Tweet, label: int) -> None:
+        if tweet.timestamp < self._latest:
             raise StreamOrderError(
                 f"tweet at {tweet.timestamp} pushed after {self._latest}"
             )
         self._latest = tweet.timestamp
-        label = _nearest_area_within(self.areas, tweet.lat, tweet.lon, self.radius_km)
-        previous = self._last_label.get(tweet.user_id, -1)
-        if previous >= 0 and label >= 0 and previous != label:
-            self._matrix[previous, label] += 1
-            self._events.append((tweet.timestamp, previous, label))
-        self._last_label[tweet.user_id] = label
+        self._flows.observe(tweet.user_id, label, tweet.timestamp)
         self._expire(tweet.timestamp)
 
     def advance_to(self, now: float) -> None:
         """Expire old transitions without ingesting a tweet."""
         if now < self._latest:
-            from repro.stream.window import StreamOrderError
-
             raise StreamOrderError(f"cannot move time backwards to {now}")
         self._latest = now
         self._expire(now)
@@ -163,16 +179,13 @@ class OnlineMobilityCounter:
     def _expire(self, now: float) -> None:
         if not np.isfinite(self.window_seconds):
             return
-        cutoff = now - self.window_seconds
-        while self._events and self._events[0][0] <= cutoff:
-            _ts, source, dest = self._events.popleft()
-            self._matrix[source, dest] -= 1
+        self._flows.expire_until(now - self.window_seconds)
 
     def flow_matrix(self) -> np.ndarray:
         """Transition counts in the current window."""
-        return self._matrix.copy()
+        return self._flows.flow_matrix()
 
     @property
     def total_transitions(self) -> int:
         """Total transitions currently in the window."""
-        return int(self._matrix.sum())
+        return self._flows.total_transitions

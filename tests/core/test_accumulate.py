@@ -1,0 +1,103 @@
+"""Accumulator primitives: batch OD counting and incremental forms."""
+
+import numpy as np
+import pytest
+
+from repro.core.accumulate import (
+    ODAccumulator,
+    PopulationAccumulator,
+    od_matrix_from_labels,
+)
+
+
+class TestOdMatrixFromLabels:
+    def test_counts_consecutive_same_user_transitions(self):
+        users = np.array([1, 1, 1, 2, 2])
+        labels = np.array([0, 1, 1, 2, 0])
+        matrix, total = od_matrix_from_labels(users, labels, 3)
+        expected = np.zeros((3, 3), dtype=np.int64)
+        expected[0, 1] = 1  # user 1: 0 -> 1
+        expected[2, 0] = 1  # user 2: 2 -> 0
+        assert np.array_equal(matrix, expected)
+        assert total == 2
+
+    def test_unlabelled_rows_break_adjacency(self):
+        users = np.array([1, 1, 1])
+        labels = np.array([0, -1, 1])
+        matrix, total = od_matrix_from_labels(users, labels, 2)
+        assert matrix.sum() == 0
+        assert total == 0
+
+    def test_user_boundaries_do_not_transition(self):
+        users = np.array([1, 2])
+        labels = np.array([0, 1])
+        matrix, total = od_matrix_from_labels(users, labels, 2)
+        assert matrix.sum() == 0
+        assert total == 0
+
+    def test_empty_and_singleton(self):
+        for users, labels in ([np.array([], dtype=int)] * 2, (np.array([1]), np.array([0]))):
+            matrix, total = od_matrix_from_labels(users, labels, 2)
+            assert matrix.shape == (2, 2)
+            assert total == 0
+
+    def test_misaligned_shapes_raise(self):
+        with pytest.raises(ValueError, match="align with user rows"):
+            od_matrix_from_labels(np.array([1, 1]), np.array([0]), 2)
+
+    def test_label_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="exceeds number of areas"):
+            od_matrix_from_labels(np.array([1, 1]), np.array([0, 5]), 2)
+
+
+class TestPopulationAccumulator:
+    def test_add_then_remove_restores_zero(self):
+        acc = PopulationAccumulator(3)
+        acc.add([0, 2], user_id=7)
+        acc.add([0], user_id=8)
+        assert np.array_equal(acc.tweet_counts(), [2, 0, 1])
+        assert np.array_equal(acc.user_counts(), [2, 0, 1])
+        acc.remove([0, 2], user_id=7)
+        acc.remove([0], user_id=8)
+        assert acc.tweet_counts().sum() == 0
+        assert acc.user_counts().sum() == 0
+
+    def test_unique_user_survives_partial_removal(self):
+        acc = PopulationAccumulator(1)
+        acc.add([0], user_id=7)
+        acc.add([0], user_id=7)
+        acc.remove([0], user_id=7)
+        # One of the user's two tweets expired; they are still present.
+        assert acc.user_counts()[0] == 1
+        assert acc.tweet_counts()[0] == 1
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PopulationAccumulator(-1)
+
+
+class TestODAccumulator:
+    def test_observe_records_label_changes_only(self):
+        acc = ODAccumulator(3)
+        assert not acc.observe(1, 0, 10.0)  # first sighting: no transition
+        assert acc.observe(1, 2, 20.0)
+        assert not acc.observe(1, 2, 30.0)  # same label: no transition
+        assert not acc.observe(1, -1, 40.0)  # leaving coverage
+        assert not acc.observe(1, 0, 50.0)  # re-entering after -1
+        assert acc.total_transitions == 1
+        assert acc.flow_matrix()[0, 2] == 1
+
+    def test_expire_until_retires_old_transitions(self):
+        acc = ODAccumulator(2)
+        acc.observe(1, 0, 0.0)
+        acc.observe(1, 1, 10.0)
+        acc.observe(2, 0, 20.0)
+        acc.observe(2, 1, 30.0)
+        assert acc.total_transitions == 2
+        assert acc.expire_until(10.0) == 1  # cutoff is inclusive
+        assert acc.total_transitions == 1
+        assert acc.flow_matrix()[0, 1] == 1
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ODAccumulator(-1)

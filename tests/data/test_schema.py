@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.data.schema import CorpusStats, SchemaError, Tweet, UserSummary
+from repro.data.schema import (
+    CorpusStats,
+    SchemaError,
+    Tweet,
+    UserSummary,
+    parse_tweet_record,
+)
 from repro.geo.coords import Coordinate
 
 
@@ -36,6 +42,61 @@ class TestTweet:
         t = Tweet(user_id=0, timestamp=0.0, lat=0.0, lon=0.0)
         with pytest.raises(AttributeError):
             t.user_id = 5
+
+
+class TestParseTweetRecord:
+    """The canonical ingress parser shared by file I/O and HTTP ingest."""
+
+    RECORD = {"user_id": 7, "timestamp": 100.5, "lat": -33.9, "lon": 151.2}
+
+    def test_parses_valid_record(self):
+        tweet = parse_tweet_record({**self.RECORD, "tweet_id": 42})
+        assert tweet == Tweet(
+            user_id=7, timestamp=100.5, lat=-33.9, lon=151.2, tweet_id=42
+        )
+
+    def test_tweet_id_defaults_to_unassigned(self):
+        assert parse_tweet_record(self.RECORD).tweet_id == -1
+
+    def test_converts_string_fields(self):
+        record = {"user_id": "7", "timestamp": "100.5", "lat": "-33.9", "lon": "151.2"}
+        tweet = parse_tweet_record(record)
+        assert tweet.user_id == 7
+        assert tweet.lat == pytest.approx(-33.9)
+
+    def test_non_mapping_raises(self):
+        with pytest.raises(SchemaError, match="must be an object, got list"):
+            parse_tweet_record([1, 2, 3])
+
+    @pytest.mark.parametrize("field", ["user_id", "timestamp", "lat", "lon"])
+    def test_missing_field_named_in_error(self, field):
+        record = dict(self.RECORD)
+        del record[field]
+        with pytest.raises(SchemaError, match=f"missing field '{field}'"):
+            parse_tweet_record(record)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("lat", "not-a-number"), ("lon", None), ("timestamp", "later"), ("user_id", "x")],
+    )
+    def test_unconvertible_field_named_in_error(self, field, value):
+        record = {**self.RECORD, field: value}
+        with pytest.raises(SchemaError, match=f"field '{field}' is invalid"):
+            parse_tweet_record(record)
+
+    def test_out_of_range_latitude_wrapped_as_schema_error(self):
+        with pytest.raises(SchemaError, match=r"latitude must be in \[-90, 90\]"):
+            parse_tweet_record({**self.RECORD, "lat": 95.0})
+
+    def test_matches_ingest_service_parser(self):
+        """HTTP ingest and file loaders share one parser (same errors)."""
+        from repro.serve.ingest import IngestService
+
+        assert IngestService.parse_tweet(self.RECORD) == parse_tweet_record(
+            self.RECORD
+        )
+        with pytest.raises(SchemaError, match="missing field 'lat'"):
+            IngestService.parse_tweet({"user_id": 1, "timestamp": 0.0, "lon": 0.0})
 
 
 class TestUserSummary:

@@ -117,6 +117,80 @@ class TestBatchEquivalence:
         assert np.array_equal(counter.flow_matrix(), flows.matrix)
 
 
+class TestPushBatchEquivalence:
+    """Micro-batched ingestion must equal per-tweet pushes exactly."""
+
+    def _ordered_tweets(self, corpus, limit=2000):
+        tweets = list(corpus.iter_tweets())
+        order = np.argsort(corpus.timestamps, kind="stable")[:limit]
+        return [tweets[i] for i in order]
+
+    @pytest.mark.parametrize("window", [float("inf"), 86400.0])
+    def test_population_push_batch_matches_push(self, small_corpus, window):
+        ordered = self._ordered_tweets(small_corpus)
+        scalar = OnlinePopulationCounter(AREAS, RADIUS, window_seconds=window)
+        batched = OnlinePopulationCounter(AREAS, RADIUS, window_seconds=window)
+        for tweet in ordered:
+            scalar.push(tweet)
+        for start in range(0, len(ordered), 97):
+            batched.push_batch(ordered[start : start + 97])
+        assert np.array_equal(scalar.tweet_counts(), batched.tweet_counts())
+        assert np.array_equal(scalar.user_counts(), batched.user_counts())
+
+    @pytest.mark.parametrize("window", [float("inf"), 86400.0])
+    def test_mobility_push_batch_matches_push(self, small_corpus, window):
+        ordered = self._ordered_tweets(small_corpus)
+        scalar = OnlineMobilityCounter(AREAS, RADIUS, window_seconds=window)
+        batched = OnlineMobilityCounter(AREAS, RADIUS, window_seconds=window)
+        for tweet in ordered:
+            scalar.push(tweet)
+        for start in range(0, len(ordered), 97):
+            batched.push_batch(ordered[start : start + 97])
+        assert np.array_equal(scalar.flow_matrix(), batched.flow_matrix())
+        assert scalar.total_transitions == batched.total_transitions
+
+    def test_push_batch_rejects_out_of_order(self):
+        counter = OnlineMobilityCounter(AREAS, RADIUS)
+        with pytest.raises(StreamOrderError):
+            counter.push_batch([_tweet(1, 10.0), _tweet(1, 5.0)])
+
+    def test_empty_batch_is_noop(self):
+        counter = OnlineMobilityCounter(AREAS, RADIUS)
+        counter.push_batch([])
+        assert counter.total_transitions == 0
+
+    def test_counters_accept_world(self):
+        from repro.core.world import World
+
+        world = World.from_scale(Scale.NATIONAL)
+        counter = OnlineMobilityCounter(world)
+        assert counter.world is world
+        assert counter.radius_km == RADIUS
+        population = OnlinePopulationCounter(world)
+        assert population.world is world
+
+    def test_monitor_push_batch_matches_push(self, small_corpus):
+        ordered = self._ordered_tweets(small_corpus, limit=1500)
+        kwargs = dict(
+            window_seconds=86400.0 * 30, check_interval_seconds=86400.0 * 5
+        )
+        scalar = MobilityMonitor(AREAS, RADIUS, **kwargs)
+        batched = MobilityMonitor(AREAS, RADIUS, **kwargs)
+        scalar_anomalies = []
+        for tweet in ordered:
+            scalar_anomalies.extend(scalar.push(tweet))
+        batched_anomalies = []
+        for start in range(0, len(ordered), 211):
+            batched_anomalies.extend(batched.push_batch(ordered[start : start + 211]))
+        assert scalar_anomalies == batched_anomalies
+        assert scalar._checks_done == batched._checks_done
+        assert np.array_equal(
+            scalar.counter.flow_matrix(), batched.counter.flow_matrix()
+        )
+        assert np.array_equal(scalar._baseline, batched._baseline)
+        assert scalar.gamma_history() == batched.gamma_history()
+
+
 class TestWindowedCounters:
     def test_population_window_decrements(self):
         counter = OnlinePopulationCounter(AREAS, RADIUS, window_seconds=100.0)
