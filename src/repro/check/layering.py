@@ -18,6 +18,8 @@ bottom, orchestration above them, service/tooling on top::
           |
        pipeline                      (L6: cached DAG orchestration)
           |
+       summary                       (L6.5: time-tiered summary store)
+          |
         serve                        (L7: online service)
           |
      cli / check / <root>            (L8: entry points and tooling)
@@ -70,10 +72,17 @@ LAYER_DAG: dict[str, frozenset[str]] = {
             "models", "epidemic", "stream", "viz", "experiments",
         }
     ),
+    "summary": frozenset(
+        {
+            "geo", "stats", "obs", "data", "core", "synth", "extraction",
+            "models", "epidemic", "stream", "viz", "experiments", "pipeline",
+        }
+    ),
     "serve": frozenset(
         {
             "geo", "stats", "obs", "data", "core", "synth", "extraction",
             "models", "epidemic", "stream", "viz", "experiments", "pipeline",
+            "summary",
         }
     ),
 }

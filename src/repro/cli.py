@@ -13,6 +13,8 @@ Usage (installed as ``repro`` or via ``python -m repro``)::
     repro pipeline status
     repro pipeline clean
     repro serve --port 8000
+    repro summary backfill --users 40000
+    repro summary status
     repro epidemic --users 20000 --seed-city Sydney --model gravity2
     repro check --format json
     repro check --baseline
@@ -193,6 +195,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-body-kb", type=int, default=1024,
         help="largest accepted request body (KiB)",
     )
+    serve.add_argument(
+        "--no-summary", action="store_true",
+        help="serve without the windowed summary store",
+    )
+
+    summary = sub.add_parser(
+        "summary", help="multi-resolution time-tiered summary store"
+    )
+    summary_sub = summary.add_subparsers(dest="summary_command", required=True)
+    sback = summary_sub.add_parser(
+        "backfill", help="build summary tiles from a corpus (cached)"
+    )
+    sback.add_argument("--corpus", help="corpus CSV (else synthesise)")
+    sback.add_argument("--users", type=int, default=40_000, help="users to synthesise")
+    sback.add_argument("--seed", type=int, default=20150413, help="RNG seed")
+    sback.add_argument(
+        "--scale",
+        choices=[s.value for s in Scale],
+        default=Scale.NATIONAL.value,
+        help="area system to summarise at",
+    )
+    sback.add_argument("--cache-dir", help="artifact cache directory")
+    sback.add_argument("--jobs", type=int, default=1, help="parallel task workers")
+    sback.add_argument(
+        "--force", action="store_true", help="rebuild tiles, ignoring the cache"
+    )
+    sstatus = summary_sub.add_parser(
+        "status", help="tile inventory of a persisted summary namespace"
+    )
+    sstatus.add_argument(
+        "--scale",
+        choices=[s.value for s in Scale],
+        default=Scale.NATIONAL.value,
+        help="summary namespace to inspect",
+    )
+    sstatus.add_argument("--cache-dir", help="artifact cache directory")
 
     epi = sub.add_parser("epidemic", help="disease-spread forecast on fitted mobility")
     epi.add_argument("--users", type=int, default=20_000, help="users to synthesise")
@@ -517,6 +555,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             window_seconds=args.window_seconds,
             poll_interval=args.poll_interval,
             max_body_bytes=args.max_body_kb * 1024,
+            with_summary=not args.no_summary,
         )
     except RegistryError as error:
         print(f"repro serve: {error}", file=sys.stderr)
@@ -535,6 +574,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
     print("shutdown complete: in-flight requests drained", file=sys.stderr)
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from repro.core.world import World
+    from repro.pipeline import ArtifactStore, TaskFailure
+    from repro.summary import SummaryStore, backfill_summary
+
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
+    scale = Scale(args.scale)
+    summary = SummaryStore(
+        World.from_scale(scale), artifacts=store, namespace=scale.value
+    )
+
+    if args.summary_command == "status":
+        recovered = summary.recover()
+        stats = summary.stats()
+        print(f"cache dir: {store.root}")
+        print(f"namespace: {scale.value} ({recovered} persisted tiles)")
+        for tier, count in stats["tiles"].items():
+            print(f"  {tier:<8s} {count} tiles")
+        watermark = stats["watermark"]
+        print(f"  watermark: {watermark if watermark is not None else 'none'}")
+        return 0
+
+    if args.jobs < 1:
+        raise CLIError(f"--jobs must be >= 1, got {args.jobs}")
+    config = None
+    if not args.corpus:
+        config = SynthConfig(n_users=args.users, seed=args.seed)
+        print(f"synthesising corpus ({args.users} users) ...", file=sys.stderr)
+    summary.recover()
+    try:
+        tiles, installed, run = backfill_summary(
+            store,
+            summary,
+            config=config,
+            corpus_path=args.corpus,
+            scale=scale,
+            jobs=args.jobs,
+            force=args.force,
+        )
+    except TaskFailure as failure:
+        print(
+            f"backfill failed at task '{failure.task_name}': {failure.cause!r}",
+            file=sys.stderr,
+        )
+        return 1
+    span = tiles.span
+    span_text = f"[{span[0]}, {span[1]})" if span else "empty"
+    print(
+        f"backfilled {installed} minute tiles ({tiles.n_tweets} tweets, "
+        f"{tiles.n_transitions} transitions) spanning {span_text}"
+    )
+    print(run.manifest.summary(), file=sys.stderr)
     return 0
 
 
@@ -725,6 +819,7 @@ def main(argv: list[str] | None = None) -> int:
         "pipeline": _cmd_pipeline,
         "trace": _cmd_trace,
         "serve": _cmd_serve,
+        "summary": _cmd_summary,
         "epidemic": _cmd_epidemic,
         "groundtruth": _cmd_groundtruth,
         "validate": _cmd_validate,

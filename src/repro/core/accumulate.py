@@ -21,6 +21,7 @@ windowed results equal a from-scratch recomputation at every instant
 
 from __future__ import annotations
 
+import heapq
 from collections import Counter, deque
 from typing import Iterable
 
@@ -95,6 +96,41 @@ class PopulationAccumulator:
             [len(c) for c in self._users_per_area], dtype=np.int64
         )
 
+    @property
+    def total_tweets(self) -> int:
+        """Total tweet-area memberships currently accumulated."""
+        return int(self._tweet_counts.sum())
+
+    def snapshot(self) -> "PopulationAccumulator":
+        """An independent deep copy of the current state.
+
+        The copy shares nothing mutable with the source, so a finalized
+        summary tile can hold it while the live accumulator keeps
+        moving.
+        """
+        copy = PopulationAccumulator(self.n_areas)
+        copy._tweet_counts = self._tweet_counts.copy()
+        copy._users_per_area = [
+            Counter(users) for users in self._users_per_area
+        ]
+        return copy
+
+    def merge(self, other: "PopulationAccumulator") -> None:
+        """Fold another accumulator's counts into this one.
+
+        Exact for any split of the tweet stream — per-area user
+        multisets add, so a user seen by both sides still counts once
+        in :meth:`user_counts`.  ``other`` is read, never mutated.
+        """
+        if other.n_areas != self.n_areas:
+            raise ValueError(
+                f"cannot merge accumulators over {other.n_areas} areas "
+                f"into one over {self.n_areas}"
+            )
+        self._tweet_counts += other._tweet_counts
+        for mine, theirs in zip(self._users_per_area, other._users_per_area):
+            mine.update(theirs)
+
 
 class ODAccumulator:
     """Incremental OD transition counts with per-user position tracking.
@@ -141,3 +177,37 @@ class ODAccumulator:
     def total_transitions(self) -> int:
         """Total transitions currently accumulated."""
         return int(self._matrix.sum())
+
+    def snapshot(self) -> "ODAccumulator":
+        """An independent deep copy of the current state."""
+        copy = ODAccumulator(self.n_areas)
+        copy._matrix = self._matrix.copy()
+        copy._last_label = dict(self._last_label)
+        copy._events = deque(self._events)
+        return copy
+
+    def merge(self, other: "ODAccumulator") -> None:
+        """Fold a *user-disjoint* shard's transitions into this one.
+
+        Sharded ingest partitions the stream by user id, so each
+        accumulator owns disjoint per-user positions; merging sums the
+        matrices and interleaves the timed events so later
+        :meth:`expire_until` calls stay exact.  Overlapping user sets
+        are rejected — consecutive-pair counting is not associative
+        across an arbitrary split of one user's tweets.  ``other`` is
+        read, never mutated.
+        """
+        if other.n_areas != self.n_areas:
+            raise ValueError(
+                f"cannot merge accumulators over {other.n_areas} areas "
+                f"into one over {self.n_areas}"
+            )
+        shared = self._last_label.keys() & other._last_label.keys()
+        if shared:
+            raise ValueError(
+                f"cannot merge OD accumulators sharing users "
+                f"{sorted(shared)[:5]} — shard the stream by user id"
+            )
+        self._matrix += other._matrix
+        self._last_label.update(other._last_label)
+        self._events = deque(heapq.merge(self._events, other._events))

@@ -115,6 +115,23 @@ class ArtifactStore:
         except (OSError, json.JSONDecodeError):
             return None
 
+    def keys_with_prefix(self, prefix: str) -> list[str]:
+        """Every recorded cache key starting with ``prefix``, sorted.
+
+        Keys may contain ``/`` (they map to subdirectories under
+        ``keys/``), which namespaced families — the summary store's
+        ``summary/<namespace>/<tier>/<start>`` tiles — rely on to
+        enumerate their members.
+        """
+        if not self.keys_dir.exists():
+            return []
+        keys = []
+        for path in self.keys_dir.rglob("*.json"):
+            key = path.relative_to(self.keys_dir).as_posix()[: -len(".json")]
+            if key.startswith(prefix):
+                keys.append(key)
+        return sorted(keys)
+
     # -- runs ----------------------------------------------------------
 
     def run_ids(self) -> list[str]:

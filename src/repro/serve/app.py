@@ -27,13 +27,24 @@ Endpoints
 ========  =====================  ==========================================
 GET       ``/healthz``           liveness + current snapshot identity
 GET       ``/metrics``           per-endpoint counters and latency quantiles
-GET       ``/v1/population``     per-area census vs Twitter population
-GET       ``/v1/flows``          OD flow matrix entries, filterable
+GET       ``/v1/population``     per-area census vs Twitter population;
+                                 ``?window=t0:t1`` answers from the summary
+                                 store with ``staleness_seconds``
+GET       ``/v1/flows``          OD flow matrix entries, filterable;
+                                 ``?window=t0:t1`` served from summary tiles
 POST      ``/v1/predict``        batch OD predictions from fitted models
 POST      ``/v1/ingest``         push a tweet batch into the live monitor
+                                 (and the summary store's minute tiles)
 GET       ``/v1/anomalies``      flow anomalies raised by the monitor
 POST      ``/v1/reload``         force a registry reload check
 ==========================================================================
+
+Windowed queries (``window=t0:t1``, Unix seconds, half-open) are
+answered from :class:`~repro.summary.store.SummaryStore` rollups in
+O(buckets-touched); unwindowed queries keep serving the registry
+snapshot.  The response cache is keyed on the registry run id *and* the
+summary store's monotonic version, so an ingest immediately invalidates
+any windowed answer it could have changed.
 
 Errors are JSON bodies ``{"error": {"code": ..., "message": ...}}`` with
 the matching HTTP status.
@@ -55,6 +66,7 @@ from urllib.parse import parse_qsl, urlsplit
 import numpy as np
 
 from repro import obs
+from repro.core.world import World
 from repro.data.gazetteer import Scale, areas_for_scale, search_radius_km
 from repro.data.schema import SchemaError
 from repro.pipeline.store import ArtifactStore
@@ -67,9 +79,10 @@ from repro.serve.registry import (
     ScaleSnapshot,
     Snapshot,
 )
+from repro.summary.store import SummaryStore
 
-#: Endpoints whose responses are pure functions of (URL, snapshot) and
-#: therefore safe to serve from the LRU response cache.
+#: Endpoints whose responses are pure functions of (URL, snapshot,
+#: summary version) and therefore safe to serve from the LRU cache.
 CACHEABLE = {"GET /v1/population", "GET /v1/flows"}
 
 #: Hard ceiling on request bodies (bytes) unless configured lower.
@@ -106,9 +119,13 @@ class EstimationApp:
         cache_capacity: int = 256,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         profile_requests: bool = False,
+        summary: SummaryStore | None = None,
+        summary_scale: Scale = Scale.NATIONAL,
     ) -> None:
         self.registry = registry
         self.ingest = ingest
+        self.summary = summary
+        self.summary_scale = summary_scale
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = LRUCache(cache_capacity)
         self.max_body_bytes = max_body_bytes
@@ -187,7 +204,15 @@ class EstimationApp:
                 run_id = self.registry.snapshot.run_id
             except Exception as exc:
                 return 503, _error_payload(503, str(exc)), False
-            cache_key = (path, tuple(sorted(query.items())), run_id)
+            # The summary version makes the key monotone under ingest:
+            # a windowed answer cached before a push can never be
+            # replayed after it (the version bumped, so the key moved).
+            cache_key = (
+                path,
+                tuple(sorted(query.items())),
+                run_id,
+                self._summary_version(),
+            )
             cached = self.cache.get(cache_key)
             if cached is not None:
                 status, payload = cached
@@ -235,6 +260,51 @@ class EstimationApp:
             raise ApiError(400, "request body must be a JSON object")
         return body
 
+    def _summary_version(self) -> int:
+        """The summary store's monotonic version (-1 when summaries are off)."""
+        return self.summary.version if self.summary is not None else -1
+
+    @staticmethod
+    def _parse_window(query: dict) -> tuple[float, float] | None:
+        """The ``window=t0:t1`` bounds, or ``None`` when unwindowed."""
+        raw = query.get("window")
+        if raw is None:
+            return None
+        head, sep, tail = raw.partition(":")
+        if not sep:
+            raise ApiError(
+                400, f"window must be 't0:t1' in Unix seconds, got {raw!r}"
+            )
+        try:
+            return float(head), float(tail)
+        except ValueError:
+            raise ApiError(
+                400, f"window bounds must be numbers, got {raw!r}"
+            ) from None
+
+    def _query_summary(self, query: dict, window: tuple[float, float]):
+        """Resolve a windowed query against the summary store, or error.
+
+        503 when no summary store is wired; 400 when the requested scale
+        is not the one the store summarises (tiles exist per scale) or
+        the window bounds are invalid.
+        """
+        if self.summary is None:
+            raise ApiError(
+                503, "windowed queries need a summary store; none is configured"
+            )
+        name = query.get("scale", self.summary_scale.value)
+        if name != self.summary_scale.value:
+            raise ApiError(
+                400,
+                f"windowed queries are summarised at scale "
+                f"{self.summary_scale.value!r} only, got {name!r}",
+            )
+        try:
+            return self.summary.query(*window)
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from exc
+
     # -- endpoints -----------------------------------------------------
 
     def _handle_healthz(self, query: dict, body: dict | None) -> tuple[int, dict]:
@@ -242,7 +312,7 @@ class EstimationApp:
             snapshot = self.registry.snapshot
         except Exception as exc:
             return 503, _error_payload(503, str(exc))
-        return 200, {
+        payload = {
             "status": "ok",
             "run_id": snapshot.run_id,
             "corpus_digest": snapshot.corpus_digest,
@@ -250,6 +320,15 @@ class EstimationApp:
             "corpus_users": snapshot.n_users,
             "uptime_seconds": round(time.time() - self.started_at, 3),  # repro: allow[determinism] uptime report
         }
+        if self.summary is not None:
+            stats = self.summary.stats()
+            payload["summary"] = {
+                "version": stats["version"],
+                "watermark": stats["watermark"],
+                "tiles": stats["tiles"],
+                "open_minutes": stats["open_minutes"],
+            }
+        return 200, payload
 
     def _handle_metrics(self, query: dict, body: dict | None) -> tuple[int, dict]:
         payload = self.metrics.snapshot()
@@ -259,11 +338,36 @@ class EstimationApp:
             "misses": self.cache.misses,
         }
         payload["ingest"] = self.ingest.stats()
+        if self.summary is not None:
+            payload["summary"] = self.summary.stats()
         if self.profile_requests:
             payload["request_profiles"] = list(self._profile_reports)
         return 200, payload
 
     def _handle_population(self, query: dict, body: dict | None) -> tuple[int, dict]:
+        window = self._parse_window(query)
+        if window is not None:
+            result = self._query_summary(query, window)
+            world = self.summary.world
+            return 200, {
+                "scale": self.summary_scale.value,
+                "radius_km": world.radius_km,
+                "source": "summary",
+                "window": {"t0": result.t0, "t1": result.t1},
+                "staleness_seconds": result.staleness_seconds,
+                "buckets_touched": result.buckets_touched,
+                "tiles_used": result.tiles_used,
+                "summary_version": result.version,
+                "areas": [
+                    {
+                        "name": world.names[i],
+                        "census_population": float(world.populations[i]),
+                        "twitter_population": int(result.user_counts[i]),
+                        "tweets": int(result.tweet_counts[i]),
+                    }
+                    for i in range(world.n_areas)
+                ],
+            }
         snapshot, scale = self._resolve_scale(query)
         areas = [
             {
@@ -282,6 +386,47 @@ class EstimationApp:
         }
 
     def _handle_flows(self, query: dict, body: dict | None) -> tuple[int, dict]:
+        window = self._parse_window(query)
+        if window is not None:
+            result = self._query_summary(query, window)
+            world = self.summary.world
+            matrix = result.flow_matrix
+            rows: range | list = range(world.n_areas)
+            cols: range | list = range(world.n_areas)
+            origin = query.get("origin")
+            dest = query.get("dest")
+            if origin is not None:
+                index = world.area_index(origin)
+                if index < 0:
+                    raise ApiError(400, f"unknown origin area {origin!r}")
+                rows = [index]
+            if dest is not None:
+                index = world.area_index(dest)
+                if index < 0:
+                    raise ApiError(400, f"unknown dest area {dest!r}")
+                cols = [index]
+            distance = world.distance_matrix_km
+            return 200, {
+                "scale": self.summary_scale.value,
+                "source": "summary",
+                "window": {"t0": result.t0, "t1": result.t1},
+                "staleness_seconds": result.staleness_seconds,
+                "buckets_touched": result.buckets_touched,
+                "tiles_used": result.tiles_used,
+                "summary_version": result.version,
+                "total_trips": result.n_transitions,
+                "flows": [
+                    {
+                        "origin": world.names[i],
+                        "dest": world.names[j],
+                        "flow": int(matrix[i, j]),
+                        "distance_km": round(float(distance[i, j]), 3),
+                    }
+                    for i in rows
+                    for j in cols
+                    if i != j and matrix[i, j] > 0
+                ],
+            }
         snapshot, scale = self._resolve_scale(query)
         matrix = scale.flows.matrix
         origin = query.get("origin")
@@ -387,11 +532,19 @@ class EstimationApp:
             except SchemaError as exc:
                 raise ApiError(400, f"tweets[{position}]: {exc}") from exc
         result = self.ingest.ingest(tweets)
-        return 200, {
+        payload = {
             "accepted": result.accepted,
             "dropped_stale": result.dropped_stale,
             "anomalies_raised": result.anomalies_raised,
         }
+        if self.summary is not None:
+            outcome = self.summary.ingest(tweets)
+            payload["summary"] = {
+                "accepted": outcome.accepted,
+                "dropped_late": outcome.dropped_late,
+                "version": outcome.version,
+            }
+        return 200, payload
 
     def _handle_anomalies(self, query: dict, body: dict | None) -> tuple[int, dict]:
         if query.get("check") in ("1", "true"):
@@ -585,11 +738,16 @@ def create_app(
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     preload: bool = True,
     profile_requests: bool = False,
+    with_summary: bool = True,
 ) -> EstimationApp:
     """Wire registry + ingest + metrics into an app over one store.
 
     With ``preload`` (the default) the initial snapshot is built before
     the first request, so a misconfigured cache dir fails fast at boot.
+    With ``with_summary`` (the default) a :class:`SummaryStore` over the
+    monitor scale is attached, persisted through the same artifact
+    store, and its tiles recovered — so windowed queries survive a
+    restart without corpus replay.
     """
     registry = ModelRegistry(store, poll_interval=poll_interval)
     if preload:
@@ -599,12 +757,22 @@ def create_app(
         radius_km=search_radius_km(monitor_scale),
         window_seconds=window_seconds,
     )
+    summary = None
+    if with_summary:
+        summary = SummaryStore(
+            World.from_scale(monitor_scale),
+            artifacts=store,
+            namespace=monitor_scale.value,
+        )
+        summary.recover()
     return EstimationApp(
         registry,
         ingest,
         cache_capacity=cache_capacity,
         max_body_bytes=max_body_bytes,
         profile_requests=profile_requests,
+        summary=summary,
+        summary_scale=monitor_scale,
     )
 
 

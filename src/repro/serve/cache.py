@@ -1,9 +1,11 @@
 """A small thread-safe LRU cache for idempotent GET responses.
 
 Values are fully rendered response bodies keyed by
-``(path, query, snapshot run id)`` — including the run id means a
-registry hot-reload implicitly invalidates every cached entry without
-any coordination: stale keys simply age out of the LRU.
+``(path, query, snapshot run id, summary version)`` — including the run
+id and the summary store's monotonic version means a registry
+hot-reload *or* a summary ingest implicitly invalidates every cached
+entry it could affect without any coordination: stale keys simply age
+out of the LRU.
 """
 
 from __future__ import annotations

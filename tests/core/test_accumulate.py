@@ -101,3 +101,95 @@ class TestODAccumulator:
     def test_rejects_negative_size(self):
         with pytest.raises(ValueError, match="non-negative"):
             ODAccumulator(-1)
+
+
+class TestSnapshotAndMerge:
+    def test_population_snapshot_is_independent(self):
+        acc = PopulationAccumulator(2)
+        acc.add([0], user_id=1)
+        frozen = acc.snapshot()
+        acc.add([0, 1], user_id=2)
+        assert np.array_equal(frozen.tweet_counts(), [1, 0])
+        assert np.array_equal(acc.tweet_counts(), [2, 1])
+        frozen.add([1], user_id=9)
+        assert acc.user_counts()[1] == 1  # source unaffected by the copy
+
+    def test_population_sharded_merge_equals_single_run(self):
+        rng = np.random.default_rng(0)
+        single = PopulationAccumulator(4)
+        shards = [PopulationAccumulator(4) for _ in range(3)]
+        for i in range(200):
+            areas = rng.choice(4, size=rng.integers(1, 4), replace=False)
+            user = int(rng.integers(10))
+            single.add(areas, user)
+            shards[i % 3].add(areas, user)
+        merged = shards[0].snapshot()
+        merged.merge(shards[1])
+        merged.merge(shards[2])
+        assert np.array_equal(merged.tweet_counts(), single.tweet_counts())
+        assert np.array_equal(merged.user_counts(), single.user_counts())
+        assert merged.total_tweets == single.total_tweets
+
+    def test_population_merge_counts_shared_user_once(self):
+        a = PopulationAccumulator(1)
+        b = PopulationAccumulator(1)
+        a.add([0], user_id=7)
+        b.add([0], user_id=7)
+        a.merge(b)
+        assert a.tweet_counts()[0] == 2
+        assert a.user_counts()[0] == 1
+
+    def test_population_merge_then_remove_stays_exact(self):
+        a = PopulationAccumulator(1)
+        b = PopulationAccumulator(1)
+        a.add([0], user_id=7)
+        b.add([0], user_id=7)
+        a.merge(b)
+        a.remove([0], user_id=7)
+        assert a.user_counts()[0] == 1  # one of two tweets expired
+        a.remove([0], user_id=7)
+        assert a.user_counts()[0] == 0
+
+    def test_population_merge_rejects_size_mismatch(self):
+        with pytest.raises(ValueError, match="areas"):
+            PopulationAccumulator(2).merge(PopulationAccumulator(3))
+
+    def test_od_snapshot_is_independent(self):
+        acc = ODAccumulator(3)
+        acc.observe(1, 0, 0.0)
+        acc.observe(1, 1, 10.0)
+        frozen = acc.snapshot()
+        acc.observe(1, 2, 20.0)
+        assert frozen.total_transitions == 1
+        assert acc.total_transitions == 2
+        frozen.expire_until(10.0)
+        assert acc.total_transitions == 2
+
+    def test_od_user_sharded_merge_equals_single_run(self):
+        rng = np.random.default_rng(1)
+        single = ODAccumulator(4)
+        shards = {0: ODAccumulator(4), 1: ODAccumulator(4)}
+        for ts in range(300):
+            user = int(rng.integers(8))
+            label = int(rng.integers(-1, 4))
+            single.observe(user, label, float(ts))
+            shards[user % 2].observe(user, label, float(ts))
+        merged = shards[0].snapshot()
+        merged.merge(shards[1])
+        assert np.array_equal(merged.flow_matrix(), single.flow_matrix())
+        assert merged.total_transitions == single.total_transitions
+        # expiry stays exact across the merged, time-interleaved events
+        assert merged.expire_until(150.0) == single.expire_until(150.0)
+        assert np.array_equal(merged.flow_matrix(), single.flow_matrix())
+
+    def test_od_merge_rejects_shared_users(self):
+        a = ODAccumulator(2)
+        b = ODAccumulator(2)
+        a.observe(5, 0, 0.0)
+        b.observe(5, 1, 1.0)
+        with pytest.raises(ValueError, match="sharing users"):
+            a.merge(b)
+
+    def test_od_merge_rejects_size_mismatch(self):
+        with pytest.raises(ValueError, match="areas"):
+            ODAccumulator(2).merge(ODAccumulator(3))

@@ -1,0 +1,126 @@
+"""Property: a windowed tile-stitched query ≡ batch recompute.
+
+Hypothesis drives random time-ordered streams, split into arbitrary
+ingest batches, through a :class:`SummaryStore`, then compares every
+queried window against a from-scratch reference over the same tweets:
+
+* population — recompute ε-disc membership over exactly the tweets with
+  ``timestamp`` in the effective ``[q0, q1)``;
+* flows — replay the *full* stream through the consecutive-pair rule
+  and keep transitions whose arriving tweet lands in ``[q0, q1)`` (the
+  store's documented contract: a transition belongs to the bucket of
+  the arriving tweet, even when the departing tweet precedes ``q0``).
+
+Results must be bit-identical, whatever mix of minute/hour/day tiles
+the store stitched.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.label import label_points, membership_points
+from repro.core.world import World
+from repro.data.gazetteer import Scale, areas_for_scale
+from repro.data.schema import Tweet
+from repro.summary.store import SummaryStore
+from repro.summary.tiers import window_align
+
+AREAS = areas_for_scale(Scale.NATIONAL)[:5]
+WORLD = World.from_areas(AREAS, radius_km=50.0)
+OUTBACK = (-25.0, 125.0)
+
+
+@st.composite
+def streams_and_window(draw):
+    """A time-ordered stream, ingest batch sizes, and a query window."""
+    n = draw(st.integers(min_value=1, max_value=60))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=400.0), min_size=n, max_size=n
+        )
+    )
+    timestamps = np.cumsum(gaps)
+    tweets = []
+    for i in range(n):
+        user = draw(st.integers(min_value=0, max_value=4))
+        place = draw(st.integers(min_value=0, max_value=len(AREAS)))
+        if place == len(AREAS):
+            lat, lon = OUTBACK
+        else:
+            lat, lon = AREAS[place].center.lat, AREAS[place].center.lon
+        tweets.append(
+            Tweet(user_id=user, timestamp=float(timestamps[i]), lat=lat, lon=lon)
+        )
+    splits = draw(
+        st.lists(st.integers(min_value=0, max_value=n), max_size=4).map(sorted)
+    )
+    horizon = float(timestamps[-1])
+    t0 = draw(st.floats(min_value=0.0, max_value=horizon + 60.0))
+    t1 = draw(st.floats(min_value=t0 + 1.0, max_value=horizon + 3700.0))
+    return tweets, splits, t0, t1
+
+
+def reference(tweets, t0, t1):
+    """Brute-force batch recompute over the effective window."""
+    q0, q1 = window_align(t0, t1)
+    n_areas = WORLD.n_areas
+    lats = np.array([t.lat for t in tweets])
+    lons = np.array([t.lon for t in tweets])
+    labels = label_points(WORLD, lats, lons)
+    membership = membership_points(WORLD, lats, lons)
+
+    tweet_counts = np.zeros(n_areas, dtype=np.int64)
+    users = [set() for _ in range(n_areas)]
+    n_tweets = 0
+    for row, t in enumerate(tweets):
+        if q0 <= t.timestamp < q1:
+            n_tweets += 1
+            for area in np.nonzero(membership[row])[0]:
+                tweet_counts[area] += 1
+                users[area].add(t.user_id)
+    user_counts = np.array([len(s) for s in users], dtype=np.int64)
+
+    flow = np.zeros((n_areas, n_areas), dtype=np.int64)
+    last: dict[int, int] = {}
+    for row, t in enumerate(tweets):  # full replay, windowed filter
+        previous = last.get(t.user_id, -1)
+        label = int(labels[row])
+        last[t.user_id] = label
+        if previous >= 0 and label >= 0 and previous != label:
+            if q0 <= t.timestamp < q1:
+                flow[previous, label] += 1
+    return tweet_counts, user_counts, flow, n_tweets
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams_and_window())
+def test_windowed_query_equals_batch_recompute(case):
+    tweets, splits, t0, t1 = case
+    store = SummaryStore(WORLD)
+    previous = 0
+    for split in [*splits, len(tweets)]:
+        store.ingest(tweets[previous:split])
+        previous = split
+
+    result = store.query(t0, t1)
+    tweet_counts, user_counts, flow, n_tweets = reference(tweets, t0, t1)
+    assert np.array_equal(result.tweet_counts, tweet_counts)
+    assert np.array_equal(result.user_counts, user_counts)
+    assert np.array_equal(result.flow_matrix, flow)
+    assert result.n_tweets == n_tweets
+    assert result.n_transitions == flow.sum()
+
+
+@settings(max_examples=15, deadline=None)
+@given(streams_and_window())
+def test_version_is_monotone_under_ingest(case):
+    tweets, splits, _t0, _t1 = case
+    store = SummaryStore(WORLD)
+    seen = store.version
+    previous = 0
+    for split in [*splits, len(tweets)]:
+        outcome = store.ingest(tweets[previous:split])
+        assert outcome.version >= seen
+        seen = outcome.version
+        previous = split

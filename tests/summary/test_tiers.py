@@ -1,0 +1,111 @@
+"""Tier arithmetic and tile semantics: boundaries, alignment, rollup."""
+
+import numpy as np
+import pytest
+
+from repro.summary.tiers import (
+    ROLLUP_SOURCE,
+    SummaryBucket,
+    TimeTier,
+    bucket_start,
+    window_align,
+)
+
+
+class TestBucketStart:
+    def test_floor_assignment_within_bucket(self):
+        assert bucket_start(59.999, TimeTier.MINUTE) == 0
+        assert bucket_start(61.0, TimeTier.MINUTE) == 60
+
+    def test_boundary_timestamp_opens_its_own_bucket(self):
+        # Half-open [start, start+span): a tweet exactly on a boundary
+        # belongs to the bucket that starts there, not the one ending.
+        assert bucket_start(60.0, TimeTier.MINUTE) == 60
+        assert bucket_start(3600.0, TimeTier.HOUR) == 3600
+        assert bucket_start(86400.0, TimeTier.DAY) == 86400
+
+    def test_negative_timestamps_floor_not_truncate(self):
+        assert bucket_start(-1.0, TimeTier.MINUTE) == -60
+        assert bucket_start(-60.0, TimeTier.MINUTE) == -60
+        assert bucket_start(-61.0, TimeTier.MINUTE) == -120
+
+    def test_non_finite_rejected(self):
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="finite"):
+                bucket_start(bad, TimeTier.MINUTE)
+
+    def test_tier_spans_nest(self):
+        assert TimeTier.HOUR.span_seconds % TimeTier.MINUTE.span_seconds == 0
+        assert TimeTier.DAY.span_seconds % TimeTier.HOUR.span_seconds == 0
+        assert set(ROLLUP_SOURCE) == {TimeTier.HOUR, TimeTier.DAY}
+
+
+class TestWindowAlign:
+    def test_snaps_outward_to_minutes(self):
+        assert window_align(61.0, 119.0) == (60, 120)
+
+    def test_aligned_window_unchanged(self):
+        assert window_align(60.0, 180.0) == (60, 180)
+
+    def test_sub_minute_window_covers_one_minute(self):
+        assert window_align(70.0, 71.0) == (60, 120)
+
+    def test_empty_or_inverted_rejected(self):
+        with pytest.raises(ValueError, match="t0 < t1"):
+            window_align(60.0, 60.0)
+        with pytest.raises(ValueError, match="t0 < t1"):
+            window_align(120.0, 60.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            window_align(float("nan"), 60.0)
+
+
+def _tile(start, tier=TimeTier.MINUTE, n_areas=3):
+    return SummaryBucket.empty(tier, start, n_areas)
+
+
+class TestSummaryBucket:
+    def test_empty_tile_is_zero(self):
+        tile = _tile(0)
+        assert tile.n_tweets == 0
+        assert tile.n_transitions == 0
+        assert tile.flow_matrix().sum() == 0
+        assert tile.end == 60
+
+    def test_merge_adds_counts_and_unions_users(self):
+        a = _tile(0)
+        a.population.add([0], user_id=1)
+        a.od_counts[(0, 1)] += 1
+        a.n_tweets = 1
+        b = _tile(60)
+        b.population.add([0], user_id=1)  # same user, other minute
+        b.od_counts[(0, 1)] += 2
+        b.n_tweets = 1
+        a.merge(b)
+        assert a.n_tweets == 2
+        assert a.population.tweet_counts()[0] == 2
+        assert a.population.user_counts()[0] == 1  # exact unique users
+        assert a.od_counts[(0, 1)] == 3
+        # the merged-from tile is untouched
+        assert b.n_tweets == 1 and b.od_counts[(0, 1)] == 2
+
+    def test_merge_rejects_area_mismatch(self):
+        with pytest.raises(ValueError, match="area"):
+            _tile(0, n_areas=3).merge(_tile(0, n_areas=4))
+
+    def test_rolled_up_merges_children(self):
+        children = []
+        for k in range(3):
+            child = _tile(k * 60)
+            child.population.add([k % 3], user_id=k)
+            child.n_tweets = 1
+            children.append(child)
+        hour = SummaryBucket.rolled_up(TimeTier.HOUR, 0, 3, children)
+        assert hour.n_tweets == 3
+        assert np.array_equal(hour.population.tweet_counts(), [1, 1, 1])
+
+    def test_rolled_up_rejects_child_outside_span(self):
+        stray = _tile(3600)  # first minute of the *next* hour
+        with pytest.raises(ValueError, match="outside"):
+            SummaryBucket.rolled_up(TimeTier.HOUR, 0, 3, [stray])

@@ -212,3 +212,33 @@ class TestServeCommand:
         code = main(["serve", "--cache-dir", str(tmp_path), "--port", "0"])
         assert code == 2
         assert "no successful pipeline run" in capsys.readouterr().err
+
+
+class TestSummaryCommand:
+    def test_backfill_then_status(self, tmp_path, capsys):
+        code = main([
+            "summary", "backfill", "--users", "120", "--seed", "5",
+            "--cache-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backfilled" in out and "minute tiles" in out
+
+        code = main(["summary", "status", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "namespace: national" in out
+        assert "minute" in out
+
+    def test_status_on_empty_cache(self, tmp_path, capsys):
+        code = main(["summary", "status", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "0 persisted tiles" in capsys.readouterr().out
+
+    def test_backfill_rejects_bad_jobs(self, tmp_path, capsys):
+        code = main([
+            "summary", "backfill", "--users", "50",
+            "--cache-dir", str(tmp_path), "--jobs", "0",
+        ])
+        assert code == 2
+        assert "--jobs" in capsys.readouterr().err
