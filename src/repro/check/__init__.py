@@ -18,8 +18,13 @@ off-the-shelf linter knows about:
     :mod:`repro.obs.logs`), no mutable default arguments, no bare or
     swallowed ``except``.
 ``concurrency``
-    In ``serve``, classes that own a ``threading.Lock`` must write
-    their shared attributes under it.
+    In ``serve`` and ``cluster``, classes that own a
+    ``threading.Lock`` must write their shared attributes under it.
+``forksafety``
+    No threads, locks or executors constructed at import time in
+    modules reachable from ``repro.cluster``'s pre-fork import path,
+    and no wall-clock/per-process-entropy reads in worker-init code —
+    the constructs that break or diverge forked workers.
 
 Violations resolve against the committed ``check-baseline.json``:
 existing debt is inventoried there, anything new fails.  Inline

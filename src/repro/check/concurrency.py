@@ -27,7 +27,7 @@ from repro.check.rules import Rule, dotted_path, register, resolve_imports
 from repro.check.walker import SourceFile
 
 #: Packages whose classes serve concurrent callers.
-SCOPED_PACKAGES = frozenset({"serve"})
+SCOPED_PACKAGES = frozenset({"serve", "cluster"})
 
 #: threading constructors whose product guards shared state.
 LOCK_CONSTRUCTORS = frozenset(

@@ -1,0 +1,219 @@
+"""Fork-safety rule: keep threads and clocks out of pre-fork paths.
+
+``repro.cluster`` forks workers after importing the serving stack.
+``fork()`` copies exactly one thread into the child: any thread started
+at import time silently does not exist in workers, and a lock created
+at import time may be *held* by another thread at fork, deadlocking the
+first child that touches it.  Worker warmup code has the complementary
+hazard: wall-clock or OS-entropy reads there make freshly restarted
+workers observably different from their siblings.
+
+Two checks:
+
+* ``prefork-thread`` — a ``threading`` primitive or executor
+  constructed at *import time* (module body or class body, not inside a
+  function) in any module reachable, via the ``repro``-internal import
+  graph, from the ``repro.cluster`` package.  The import graph is
+  rebuilt per run from the parsed sources (``if TYPE_CHECKING:``
+  imports excluded — they never execute), so moving a module in or out
+  of the pre-fork path updates the finding set automatically.
+* ``worker-init-clock`` / ``worker-init-rng`` — wall-clock reads and
+  unseeded/global RNG use inside worker-initialisation functions of the
+  ``cluster`` package itself (``worker_main``, ``warmup*``, ``*_init``).
+
+Genuinely-benign sites (e.g. ``repro.obs``'s module-level registry
+locks, which are only ever held for microseconds around a dict write)
+carry ``# repro: allow[forksafety]`` pragmas with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.check.determinism import SEEDABLE_CONSTRUCTORS, WALL_CLOCK_CALLS
+from repro.check.rules import Rule, Violation, dotted_path, register, resolve_imports
+from repro.check.walker import SourceFile, type_checking_spans
+
+#: The package whose import closure is the pre-fork path.
+PREFORK_ROOT = "repro.cluster"
+
+#: Constructors whose product must not cross a fork boundary.
+THREAD_CONSTRUCTORS = frozenset(
+    {
+        "threading.Thread",
+        "threading.Timer",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Event",
+        "threading.Barrier",
+        "concurrent.futures.ThreadPoolExecutor",
+        "concurrent.futures.ProcessPoolExecutor",
+    }
+)
+
+#: Worker-initialisation function names in the cluster package.
+def _is_worker_init(name: str) -> bool:
+    return name == "worker_main" or name.startswith("warmup") or name.endswith("_init")
+
+
+def _repro_import_targets(source: SourceFile) -> set[str]:
+    """Dotted ``repro.*`` module names this file imports at runtime."""
+    type_only = type_checking_spans(source.tree)
+    targets: set[str] = set()
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        if any(start <= node.lineno <= end for start, end in type_only):
+            continue
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    targets.add(alias.name)
+        else:
+            if node.level:  # relative: resolve against this module
+                base = source.module.split(".")
+                base = base[: len(base) - node.level]
+                if node.module:
+                    base = base + node.module.split(".")
+                module = ".".join(base)
+            else:
+                module = node.module or ""
+            if module == "repro" or module.startswith("repro."):
+                targets.add(module)
+                for alias in node.names:
+                    # `from repro.x import y` may bind submodule x.y.
+                    if alias.name != "*":
+                        targets.add(f"{module}.{alias.name}")
+    return targets
+
+
+def reachable_modules(sources: Iterable[SourceFile]) -> set[str]:
+    """Module names importable while ``repro.cluster`` imports.
+
+    Importing ``repro.a.b`` also executes ``repro.a``'s ``__init__``,
+    so every ancestor package of an edge target is an edge too.
+    """
+    by_module = {source.module: source for source in sources}
+    edges: dict[str, set[str]] = {}
+    for module, source in by_module.items():
+        resolved: set[str] = set()
+        for target in _repro_import_targets(source):
+            parts = target.split(".")
+            for depth in range(1, len(parts) + 1):
+                prefix = ".".join(parts[:depth])
+                if prefix in by_module:
+                    resolved.add(prefix)
+        edges[module] = resolved
+    seeds = [
+        module
+        for module in by_module
+        if module == PREFORK_ROOT or module.startswith(PREFORK_ROOT + ".")
+    ]
+    seen: set[str] = set(seeds)
+    frontier = list(seeds)
+    while frontier:
+        current = frontier.pop()
+        for target in edges.get(current, ()):
+            if target not in seen:
+                seen.add(target)
+                frontier.append(target)
+    return seen
+
+
+def _import_time_calls(tree: ast.Module) -> Iterable[ast.Call]:
+    """Call nodes that execute while the module imports.
+
+    Everything under the module body *except* function and lambda
+    bodies, which run later (if ever).  Decorators and argument
+    defaults do evaluate at import time, so those subtrees stay in.
+    """
+    frontier: list[ast.AST] = list(tree.body)
+    while frontier:
+        node = frontier.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            frontier.extend(node.decorator_list)
+            frontier.extend(node.args.defaults)
+            frontier.extend(d for d in node.args.kw_defaults if d is not None)
+            continue
+        if isinstance(node, ast.Lambda):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        frontier.extend(ast.iter_child_nodes(node))
+
+
+@register
+class ForkSafetyRule(Rule):
+    """Flags fork hazards on the cluster's pre-fork import path."""
+
+    name = "forksafety"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._reachable: set[str] = set()
+
+    def run(self, sources: Iterable[SourceFile]) -> list[Violation]:
+        materialised = list(sources)
+        self._reachable = reachable_modules(materialised)
+        return super().run(materialised)
+
+    def check(self, source: SourceFile) -> None:
+        imports = resolve_imports(source.tree)
+        if source.module in self._reachable:
+            self._check_import_time(source, imports)
+        if source.package == "cluster":
+            self._check_worker_init(source, imports)
+
+    def _check_import_time(self, source: SourceFile, imports: dict[str, str]) -> None:
+        for call in _import_time_calls(source.tree):
+            path = dotted_path(call.func, imports)
+            if path in THREAD_CONSTRUCTORS:
+                self.report(
+                    source,
+                    call,
+                    "prefork-thread",
+                    f"{path}() at import time in '{source.module}', "
+                    f"which is on {PREFORK_ROOT}'s pre-fork import "
+                    "path: threads and locks created before fork() "
+                    "are copied into every worker in an undefined "
+                    "state — construct it lazily, after the fork",
+                )
+
+    def _check_worker_init(self, source: SourceFile, imports: dict[str, str]) -> None:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_worker_init(node.name):
+                continue
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                path = dotted_path(call.func, imports)
+                if path is None:
+                    continue
+                if path in WALL_CLOCK_CALLS:
+                    self.report(
+                        source,
+                        call,
+                        "worker-init-clock",
+                        f"{path}() in worker-init '{node.name}': a "
+                        "restarted worker would warm up against a "
+                        "different clock than its siblings — take "
+                        "timestamps from the supervisor or the stream",
+                    )
+                elif (
+                    path in SEEDABLE_CONSTRUCTORS
+                    and not (call.args or call.keywords)
+                ) or path.startswith("random."):
+                    self.report(
+                        source,
+                        call,
+                        "worker-init-rng",
+                        f"{path}() in worker-init '{node.name}' draws "
+                        "per-process entropy: shards would diverge on "
+                        "restart — derive seeds from the shard index",
+                    )

@@ -22,6 +22,8 @@ bottom, orchestration above them, service/tooling on top::
           |
         serve                        (L7: online service)
           |
+       cluster                       (L7.5: pre-fork multi-worker serving)
+          |
      cli / check / <root>            (L8: entry points and tooling)
 
 An import is legal when the target package appears in the source
@@ -83,6 +85,13 @@ LAYER_DAG: dict[str, frozenset[str]] = {
             "geo", "stats", "obs", "data", "core", "synth", "extraction",
             "models", "epidemic", "stream", "viz", "experiments", "pipeline",
             "summary",
+        }
+    ),
+    "cluster": frozenset(
+        {
+            "geo", "stats", "obs", "data", "core", "synth", "extraction",
+            "models", "epidemic", "stream", "viz", "experiments", "pipeline",
+            "summary", "serve",
         }
     ),
 }

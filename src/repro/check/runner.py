@@ -18,7 +18,7 @@ from repro.check.rules import RULE_FACTORIES, Violation
 from repro.check.walker import CheckConfigError, iter_source_files
 
 # Importing the rule modules registers their factories.
-from repro.check import concurrency, determinism, hygiene, layering  # noqa: F401
+from repro.check import concurrency, determinism, forksafety, hygiene, layering  # noqa: F401
 
 #: Default baseline filename, resolved relative to the project root.
 BASELINE_FILENAME = "check-baseline.json"

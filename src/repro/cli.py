@@ -199,6 +199,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-summary", action="store_true",
         help="serve without the windowed summary store",
     )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="pre-fork worker processes with consistent-hash sharded "
+        "ingest (1 = classic single-process serving)",
+    )
 
     summary = sub.add_parser(
         "summary", help="multi-resolution time-tiered summary store"
@@ -547,6 +552,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         install_signal_handlers,
     )
 
+    if args.workers > 1:
+        return _cmd_serve_cluster(args)
     store = ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
     try:
         app = create_app(
@@ -574,6 +581,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
     print("shutdown complete: in-flight requests drained", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterConfig, ClusterSupervisor
+
+    config = ClusterConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        monitor_scale=Scale(args.monitor_scale),
+        window_seconds=args.window_seconds,
+        poll_interval=args.poll_interval,
+        max_body_bytes=args.max_body_kb * 1024,
+        with_summary=not args.no_summary,
+    )
+    supervisor = ClusterSupervisor(config)
+    supervisor.start()
+    if not supervisor.wait_ready(timeout=60.0):
+        print("repro serve: workers failed to warm up", file=sys.stderr)
+        supervisor.stop()
+        return 2
+    print(
+        f"serving with {args.workers} workers on "
+        f"http://{args.host}:{supervisor.port} "
+        f"(shards: {', '.join(supervisor.shard_addresses.values())}) "
+        "— SIGINT/SIGTERM to stop",
+        file=sys.stderr,
+    )
+    supervisor.run()
+    print("shutdown complete: workers drained", file=sys.stderr)
     return 0
 
 

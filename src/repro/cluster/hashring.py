@@ -1,0 +1,63 @@
+"""Consistent-hash ring over shard indices.
+
+Shard ownership must be a pure function of ``(user_id, n_shards)`` —
+identical in every worker, in the supervisor, in a benchmark process
+and across restarts — so the ring hashes with :func:`hashlib.blake2b`
+rather than :func:`hash`, whose salt varies per process.
+
+Each shard contributes ``vnodes`` points on a 64-bit ring (hash of
+``"shard:<k>:<v>"``); a user id hashes to a point and is owned by the
+first shard point clockwise from it.  Virtual nodes keep the load split
+close to uniform and, when the shard count changes, move only ~1/n of
+the keyspace — the classic consistent-hashing property, which matters
+if a deployment ever resizes against persisted per-shard tile
+namespaces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+#: Ring points contributed by each shard; 64 keeps the max/min shard
+#: load ratio under ~1.3 at small shard counts.
+DEFAULT_VNODES = 64
+
+
+def _point(data: bytes) -> int:
+    """A deterministic 64-bit ring position."""
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Immutable consistent-hash mapping of user ids to shard indices."""
+
+    def __init__(self, n_shards: int, vnodes: int = DEFAULT_VNODES) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.n_shards = n_shards
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for shard in range(n_shards):
+            for v in range(vnodes):
+                points.append((_point(f"shard:{shard}:{v}".encode()), shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def owner(self, user_id: int) -> int:
+        """The shard index owning ``user_id``."""
+        if self.n_shards == 1:
+            return 0
+        position = _point(f"user:{user_id}".encode())
+        index = bisect_right(self._points, position)
+        if index == len(self._points):  # wrap past the last point
+            index = 0
+        return self._owners[index]
+
+    def __repr__(self) -> str:
+        return f"HashRing(n_shards={self.n_shards}, vnodes={self.vnodes})"

@@ -106,7 +106,7 @@ class StructuredLogger:
         self._emit("error", event, fields)
 
 
-_registry_lock = threading.Lock()
+_registry_lock = threading.Lock()  # repro: allow[forksafety] held only around a dict insert, never across a fork
 _loggers: dict[str, StructuredLogger] = {}
 
 

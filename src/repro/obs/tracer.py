@@ -229,7 +229,7 @@ class Tracer:
 
 # -- module-level current tracer (the instrumentation entry point) ------
 
-_install_lock = threading.Lock()
+_install_lock = threading.Lock()  # repro: allow[forksafety] held only around a two-field swap, never across a fork
 _current: Tracer | None = None
 
 
@@ -272,7 +272,7 @@ def span(name: str, **attrs):
 
 # -- global counters ----------------------------------------------------
 
-_counter_lock = threading.Lock()
+_counter_lock = threading.Lock()  # repro: allow[forksafety] held only around a dict increment, never across a fork
 _counters: dict[str, float] = {}
 
 

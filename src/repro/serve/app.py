@@ -46,14 +46,43 @@ snapshot.  The response cache is keyed on the registry run id *and* the
 summary store's monotonic version, so an ingest immediately invalidates
 any windowed answer it could have changed.
 
+Worker mode (``repro.cluster``)
+-------------------------------
+The app also runs as one shard of a pre-fork cluster.  Two hooks keep
+the layering clean (``serve`` never imports ``cluster``):
+
+* ``shard_router`` — an object the cluster layer attaches after
+  construction.  When set, un-``forwarded`` ingest batches and windowed
+  reads are delegated to it (consistent-hash split / scatter-gather);
+  requests carrying ``forwarded=1`` are always handled locally, which
+  is what makes forwarding loop-free.
+* ``cache_shard_key`` — folded into every response-cache key so two
+  shards sharing one artifact store can never replay each other's
+  answers.  Gathered (cluster-wide) windowed answers bypass the local
+  cache entirely: their freshness depends on every shard's summary
+  version, which a single worker's key cannot see.  Per-shard
+  (``forwarded=1``) answers still cache normally on each worker.
+
+:class:`EstimationServer` can adopt an already-bound, already-listening
+socket (``sock=...``) instead of binding one — the pre-fork idiom where
+the supervisor binds once and every forked worker accepts on the
+inherited socket.  ``server_close`` drains in-flight requests and
+then calls :meth:`EstimationApp.drain`, which flushes open summary
+buckets to the artifact store — a SIGTERM mid-minute no longer loses
+the unfinalized bucket.
+
 Errors are JSON bodies ``{"error": {"code": ..., "message": ...}}`` with
-the matching HTTP status.
+the matching HTTP status.  Redirects (the shard router's 307 for a
+batch owned wholly by another shard) carry
+``{"redirect": {"location": ..., "shard": ...}}`` and a ``Location``
+header.
 """
 
 from __future__ import annotations
 
 import json
 import signal
+import socket as socket_module
 import sys
 import threading
 import time
@@ -126,6 +155,14 @@ class EstimationApp:
         self.ingest = ingest
         self.summary = summary
         self.summary_scale = summary_scale
+        #: Cluster hook (duck-typed; see repro.cluster.router.ShardRouter).
+        #: The cluster layer assigns it after construction — ``serve``
+        #: never imports ``cluster``, keeping the layer DAG acyclic.
+        self.shard_router = None
+        #: Extra tuple folded into response-cache keys; cluster workers
+        #: set ``(shard_index, n_shards)`` so shards sharing one store
+        #: cannot replay each other's cached answers.
+        self.cache_shard_key: tuple = ()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = LRUCache(cache_capacity)
         self.max_body_bytes = max_body_bytes
@@ -199,7 +236,7 @@ class EstimationApp:
 
         label = f"{method} {path}"
         cache_key = None
-        if label in CACHEABLE:
+        if label in CACHEABLE and self._cacheable(query):
             try:
                 run_id = self.registry.snapshot.run_id
             except Exception as exc:
@@ -212,6 +249,7 @@ class EstimationApp:
                 tuple(sorted(query.items())),
                 run_id,
                 self._summary_version(),
+                self.cache_shard_key,
             )
             cached = self.cache.get(cache_key)
             if cached is not None:
@@ -263,6 +301,43 @@ class EstimationApp:
     def _summary_version(self) -> int:
         """The summary store's monotonic version (-1 when summaries are off)."""
         return self.summary.version if self.summary is not None else -1
+
+    def _cacheable(self, query: dict) -> bool:
+        """Whether this request's answer may be served from the LRU.
+
+        A gathered (cluster-wide) windowed answer depends on every
+        shard's summary version; the local cache key cannot see peers,
+        so those bypass the cache.  Per-shard (``forwarded=1``) answers
+        and every single-process answer cache normally.
+        """
+        if self.shard_router is None:
+            return True
+        return "window" not in query or query.get("forwarded") == "1"
+
+    def _shard_routed(self, query: dict) -> bool:
+        """Whether the shard router should take this request.
+
+        False for ``forwarded=1`` requests — they were already routed
+        by a peer (or by this worker's own gather) and must be answered
+        locally, which is what makes forwarding loop-free.
+        """
+        return self.shard_router is not None and query.get("forwarded") != "1"
+
+    def drain(self) -> dict:
+        """Flush state that must survive a shutdown; idempotent.
+
+        Persists every open summary minute bucket through the artifact
+        store (so a SIGTERM mid-ingest loses nothing) and clears the
+        response cache (a reused app must not serve pre-drain answers).
+        Called by :meth:`EstimationServer.server_close` after in-flight
+        requests finish.
+        """
+        flushed = 0
+        if self.summary is not None:
+            flushed = self.summary.flush()
+        self.cache.clear()
+        obs.counter("serve.drains")
+        return {"summary_tiles_flushed": flushed}
 
     @staticmethod
     def _parse_window(query: dict) -> tuple[float, float] | None:
@@ -347,6 +422,8 @@ class EstimationApp:
     def _handle_population(self, query: dict, body: dict | None) -> tuple[int, dict]:
         window = self._parse_window(query)
         if window is not None:
+            if self._shard_routed(query):
+                return self.shard_router.gather_population(query)
             result = self._query_summary(query, window)
             world = self.summary.world
             return 200, {
@@ -388,6 +465,8 @@ class EstimationApp:
     def _handle_flows(self, query: dict, body: dict | None) -> tuple[int, dict]:
         window = self._parse_window(query)
         if window is not None:
+            if self._shard_routed(query):
+                return self.shard_router.gather_flows(query)
             result = self._query_summary(query, window)
             world = self.summary.world
             matrix = result.flow_matrix
@@ -531,6 +610,17 @@ class EstimationApp:
                 tweets.append(IngestService.parse_tweet(record))
             except SchemaError as exc:
                 raise ApiError(400, f"tweets[{position}]: {exc}") from exc
+        if self._shard_routed(query):
+            return self.shard_router.route_ingest(tweets)
+        return 200, self.ingest_apply(tweets)
+
+    def ingest_apply(self, tweets: list) -> dict:
+        """Apply a parsed tweet batch to this process's own state.
+
+        The post-routing half of ingest: the monitor plus (when wired)
+        the summary store's minute tiles.  The shard router calls this
+        directly for the locally-owned slice of a split batch.
+        """
         result = self.ingest.ingest(tweets)
         payload = {
             "accepted": result.accepted,
@@ -544,7 +634,7 @@ class EstimationApp:
                 "dropped_late": outcome.dropped_late,
                 "version": outcome.version,
             }
-        return 200, payload
+        return payload
 
     def _handle_anomalies(self, query: dict, body: dict | None) -> tuple[int, dict]:
         if query.get("check") in ("1", "true"):
@@ -668,6 +758,10 @@ class RequestHandler(BaseHTTPRequestHandler):
             self.send_header("Content-Length", str(len(data)))
             if request_id:
                 self.send_header("X-Request-Id", request_id)
+            if 300 <= status < 400:
+                location = (payload.get("redirect") or {}).get("location")
+                if location:
+                    self.send_header("Location", location)
             self.end_headers()
             self.wfile.write(data)
         except (BrokenPipeError, ConnectionResetError):  # repro: allow[hygiene] client went away
@@ -713,9 +807,31 @@ class EstimationServer(ThreadingHTTPServer):
     block_on_close = True
     allow_reuse_address = True
 
-    def __init__(self, address: tuple[str, int], app: EstimationApp, access_log_file=None):
-        super().__init__(address, RequestHandler)
+    def __init__(
+        self,
+        address: tuple[str, int],
+        app: EstimationApp,
+        access_log_file=None,
+        sock: socket_module.socket | None = None,
+        flush_on_drain: bool = True,
+    ):
+        if sock is None:
+            super().__init__(address, RequestHandler)
+        else:
+            # Pre-fork adoption: the supervisor already bound and
+            # listened on this socket; every worker just accept()s on
+            # the inherited fd.  Skip bind_and_activate and graft the
+            # socket in, mirroring what server_bind/server_activate
+            # would have recorded.
+            super().__init__(address, RequestHandler, bind_and_activate=False)
+            self.socket.close()
+            self.socket = sock
+            host, port = sock.getsockname()[:2]
+            self.server_address = (host, port)
+            self.server_name = socket_module.getfqdn(host)
+            self.server_port = port
         self.app = app
+        self.flush_on_drain = flush_on_drain
         self.access_log_file = access_log_file
         self.access_logger = (
             obs.StructuredLogger("repro.serve.access", stream=access_log_file)
@@ -728,6 +844,21 @@ class EstimationServer(ThreadingHTTPServer):
         """The bound port (useful with ephemeral port 0)."""
         return self.server_address[1]
 
+    def server_close(self) -> None:
+        """Drain in-flight requests, then flush app state (once).
+
+        The base class joins the non-daemon handler threads
+        (``block_on_close``), so by the time :meth:`EstimationApp.drain`
+        runs no request is mid-flight: the flushed summary tiles are a
+        consistent cut.  ``flush_on_drain=False`` opts out for servers
+        that share an app whose lifecycle someone else owns (a cluster
+        worker drains once, explicitly, after closing both listeners).
+        """
+        super().server_close()
+        if self.flush_on_drain:
+            self.app.drain()
+            self.flush_on_drain = False
+
 
 def create_app(
     store: ArtifactStore,
@@ -739,6 +870,7 @@ def create_app(
     preload: bool = True,
     profile_requests: bool = False,
     with_summary: bool = True,
+    summary_namespace: str | None = None,
 ) -> EstimationApp:
     """Wire registry + ingest + metrics into an app over one store.
 
@@ -747,7 +879,10 @@ def create_app(
     With ``with_summary`` (the default) a :class:`SummaryStore` over the
     monitor scale is attached, persisted through the same artifact
     store, and its tiles recovered — so windowed queries survive a
-    restart without corpus replay.
+    restart without corpus replay.  ``summary_namespace`` overrides the
+    store's tile namespace (cluster workers use
+    ``"<scale>-s<shard>of<n>"`` so shards persist disjoint tile sets
+    through one artifact store).
     """
     registry = ModelRegistry(store, poll_interval=poll_interval)
     if preload:
@@ -762,7 +897,7 @@ def create_app(
         summary = SummaryStore(
             World.from_scale(monitor_scale),
             artifacts=store,
-            namespace=monitor_scale.value,
+            namespace=summary_namespace or monitor_scale.value,
         )
         summary.recover()
     return EstimationApp(
@@ -781,9 +916,21 @@ def create_server(
     port: int,
     app: EstimationApp,
     access_log_file=sys.stderr,
+    sock: socket_module.socket | None = None,
+    flush_on_drain: bool = True,
 ) -> EstimationServer:
-    """Bind the service (``port=0`` picks an ephemeral port)."""
-    return EstimationServer((host, port), app, access_log_file=access_log_file)
+    """Bind the service (``port=0`` picks an ephemeral port).
+
+    Pass ``sock`` to adopt an already-listening socket instead of
+    binding (the pre-fork path); ``host``/``port`` are then ignored.
+    """
+    return EstimationServer(
+        (host, port),
+        app,
+        access_log_file=access_log_file,
+        sock=sock,
+        flush_on_drain=flush_on_drain,
+    )
 
 
 def install_signal_handlers(server: EstimationServer) -> None:

@@ -45,6 +45,11 @@ class LRUCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
 
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

@@ -353,6 +353,32 @@ class SummaryStore:
                 self._version += 1
         return recovered
 
+    def flush(self) -> int:
+        """Finalize and persist every open minute bucket; returns count.
+
+        The graceful-drain hook: advances the watermark to the end of
+        the newest open bucket and runs the normal finalize/rollup
+        machinery, so the open (sub-minute) tail reaches the artifact
+        store instead of being lost to a restart.  Consistent with the
+        stream contract, tweets older than the flushed minutes arriving
+        *after* the flush are dropped as late — exactly what a restart
+        would have done anyway.  Idempotent: with nothing open this is
+        a no-op.
+        """
+        with self._lock:
+            if not self._minute_open:
+                return 0
+            flushed = len(self._minute_open)
+            newest = max(self._minute_open)
+            self._watermark = max(
+                self._watermark,
+                float(newest + TimeTier.MINUTE.span_seconds),
+            )
+            self._advance()
+            self._version += 1
+            obs.counter("summary.flushes")
+            return flushed
+
     # -- queries -------------------------------------------------------
 
     def query(self, t0: float, t1: float) -> WindowSummary:

@@ -1,0 +1,171 @@
+"""Tests for the fork-safety rule (pre-fork threads, worker-init entropy)."""
+
+from repro.check.forksafety import ForkSafetyRule, reachable_modules
+from repro.check.walker import SourceFile
+
+
+def src(text: str, module: str) -> SourceFile:
+    return SourceFile.from_text(text, module=module)
+
+
+CLUSTER = 'import repro.serve.app\n'
+SERVE_APP = "from repro.summary.store import SummaryStore\n"
+
+
+def run_rule(*sources: SourceFile):
+    return ForkSafetyRule().run(list(sources))
+
+
+def codes(found):
+    return [v.code for v in found]
+
+
+class TestReachability:
+    def test_transitive_closure_from_cluster(self):
+        modules = reachable_modules(
+            [
+                src(CLUSTER, "repro.cluster.worker"),
+                src(SERVE_APP, "repro.serve.app"),
+                src("x = 1\n", "repro.summary.store"),
+                src("x = 1\n", "repro.synth.users"),  # not imported
+            ]
+        )
+        assert "repro.serve.app" in modules
+        assert "repro.summary.store" in modules
+        assert "repro.synth.users" not in modules
+
+    def test_type_checking_imports_do_not_create_edges(self):
+        modules = reachable_modules(
+            [
+                src(CLUSTER, "repro.cluster.worker"),
+                src(
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    from repro.summary.store import SummaryStore\n",
+                    "repro.serve.app",
+                ),
+                src("x = 1\n", "repro.summary.store"),
+            ]
+        )
+        assert "repro.summary.store" not in modules
+
+    def test_from_import_binds_submodules(self):
+        modules = reachable_modules(
+            [
+                src("from repro.serve import app\n", "repro.cluster.worker"),
+                src("x = 1\n", "repro.serve.app"),
+                src("x = 1\n", "repro.serve"),  # ancestor package runs too
+            ]
+        )
+        assert {"repro.serve", "repro.serve.app"} <= modules
+
+
+class TestPreforkThread:
+    def test_import_time_lock_on_prefork_path_flagged(self):
+        found = run_rule(
+            src("import repro.serve.app\n", "repro.cluster.worker"),
+            src("import threading\n_lock = threading.Lock()\n", "repro.serve.app"),
+        )
+        assert codes(found) == ["forksafety/prefork-thread"]
+
+    def test_same_lock_off_the_prefork_path_is_fine(self):
+        found = run_rule(
+            src("x = 1\n", "repro.cluster.worker"),
+            src("import threading\n_lock = threading.Lock()\n", "repro.synth.users"),
+        )
+        assert found == []
+
+    def test_lock_inside_a_function_body_is_fine(self):
+        found = run_rule(
+            src("import repro.serve.app\n", "repro.cluster.worker"),
+            src(
+                "import threading\n"
+                "def make():\n"
+                "    return threading.Lock()\n",
+                "repro.serve.app",
+            ),
+        )
+        assert found == []
+
+    def test_executor_as_argument_default_is_import_time(self):
+        """Defaults evaluate at import: the classic hidden-thread bug."""
+        found = run_rule(
+            src("import repro.serve.app\n", "repro.cluster.worker"),
+            src(
+                "from concurrent.futures import ThreadPoolExecutor\n"
+                "def gather(pool=ThreadPoolExecutor()):\n"
+                "    return pool\n",
+                "repro.serve.app",
+            ),
+        )
+        assert codes(found) == ["forksafety/prefork-thread"]
+
+    def test_pragma_suppresses_with_justification(self):
+        found = run_rule(
+            src("import repro.obs.tracer\n", "repro.cluster.worker"),
+            src(
+                "import threading\n"
+                "_lock = threading.Lock()  "
+                "# repro: allow[forksafety] held only around a dict write\n",
+                "repro.obs.tracer",
+            ),
+        )
+        assert found == []
+
+
+class TestWorkerInit:
+    def test_wall_clock_in_worker_main_flagged(self):
+        found = run_rule(
+            src(
+                "import time\n"
+                "def worker_main(shard):\n"
+                "    return time.time()\n",
+                "repro.cluster.worker",
+            )
+        )
+        assert codes(found) == ["forksafety/worker-init-clock"]
+
+    def test_unseeded_rng_in_warmup_flagged(self):
+        found = run_rule(
+            src(
+                "import numpy as np\n"
+                "def warmup_registry():\n"
+                "    return np.random.default_rng()\n",
+                "repro.cluster.worker",
+            )
+        )
+        assert codes(found) == ["forksafety/worker-init-rng"]
+
+    def test_seeded_rng_in_warmup_is_fine(self):
+        found = run_rule(
+            src(
+                "import numpy as np\n"
+                "def warmup_registry(shard):\n"
+                "    return np.random.default_rng(shard)\n",
+                "repro.cluster.worker",
+            )
+        )
+        assert found == []
+
+    def test_monotonic_in_worker_init_is_fine(self):
+        found = run_rule(
+            src(
+                "import time\n"
+                "def heartbeat_init():\n"
+                "    return time.monotonic()\n",
+                "repro.cluster.worker",
+            )
+        )
+        assert found == []
+
+    def test_clock_outside_worker_init_not_this_rules_business(self):
+        """``serve_forever`` isn't init; determinism covers it elsewhere."""
+        found = run_rule(
+            src(
+                "import time\n"
+                "def serve_forever():\n"
+                "    return time.time()\n",
+                "repro.cluster.worker",
+            )
+        )
+        assert found == []

@@ -1,0 +1,27 @@
+"""Fixtures for the cluster tests: a warm store and in-process shard apps.
+
+The session store carries one corpus-only pipeline run (what worker
+warmup loads); tests that need per-shard summary state use distinct
+summary namespaces over the same store, exactly as real workers do.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import ArtifactStore
+
+from tests.serve.conftest import make_store
+
+#: Small corpus: supervisor tests fork real workers that each build a
+#: registry snapshot from it, so warmup time scales with this.
+USERS = 400
+SEED = 77
+
+
+@pytest.fixture(scope="session")
+def warm_store(tmp_path_factory) -> ArtifactStore:
+    """Shared read-only store with one servable run."""
+    return make_store(
+        tmp_path_factory.mktemp("cluster-store"), users=USERS, seed=SEED
+    )

@@ -1,0 +1,123 @@
+"""Sharded-then-merged answers must be bit-identical to unsharded runs.
+
+The cluster's correctness claim: because shards partition *users*, a
+scatter-gather merge over per-shard summary stores reproduces the
+single-process answer exactly — same unique-user counts, same tweet
+counts, same OD matrix, same staleness.  These tests build both sides
+from the same corpus and compare bitwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import HashRing, merge_window_results
+from repro.core.world import World
+from repro.data.gazetteer import Scale, areas_for_scale
+from repro.data.schema import Tweet
+from repro.summary.store import SummaryStore
+
+AREAS = areas_for_scale(Scale.NATIONAL)[:6]
+WORLD = World.from_areas(AREAS, radius_km=50.0)
+
+
+def synth_corpus(seed: int, n_users: int = 60, n_tweets: int = 600) -> list[Tweet]:
+    """A seeded stream of user movements across the test areas."""
+    rng = np.random.default_rng(seed)
+    users = rng.integers(0, n_users, size=n_tweets)
+    areas = rng.integers(0, len(AREAS), size=n_tweets)
+    times = np.sort(rng.uniform(0.0, 1800.0, size=n_tweets))
+    return [
+        Tweet(
+            user_id=int(users[i]),
+            timestamp=float(times[i]),
+            lat=AREAS[areas[i]].center.lat,
+            lon=AREAS[areas[i]].center.lon,
+        )
+        for i in range(n_tweets)
+    ]
+
+
+def sharded_stores(corpus: list[Tweet], n_shards: int) -> list[SummaryStore]:
+    """Ingest the corpus into per-shard stores, split by ring owner."""
+    ring = HashRing(n_shards)
+    stores = [SummaryStore(WORLD) for _ in range(n_shards)]
+    slices: dict[int, list[Tweet]] = {k: [] for k in range(n_shards)}
+    for tweet in corpus:
+        slices[ring.owner(tweet.user_id)].append(tweet)
+    for shard, slice_ in slices.items():
+        stores[shard].ingest(slice_)
+    return stores
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+@pytest.mark.parametrize("n_shards", [2, 4])
+class TestMergeEquivalence:
+    def test_merged_window_bit_identical_to_unsharded(self, seed, n_shards):
+        corpus = synth_corpus(seed)
+        single = SummaryStore(WORLD)
+        single.ingest(corpus)
+        stores = sharded_stores(corpus, n_shards)
+
+        expected = single.query(0, 1800)
+        merged = merge_window_results([s.query(0, 1800) for s in stores])
+
+        assert np.array_equal(merged.tweet_counts, expected.tweet_counts)
+        assert np.array_equal(merged.user_counts, expected.user_counts)
+        assert np.array_equal(merged.flow_matrix, expected.flow_matrix)
+        assert merged.n_tweets == expected.n_tweets
+        assert merged.n_transitions == expected.n_transitions
+        assert merged.staleness_seconds == expected.staleness_seconds
+
+    def test_partial_window_also_identical(self, seed, n_shards):
+        corpus = synth_corpus(seed)
+        single = SummaryStore(WORLD)
+        single.ingest(corpus)
+        stores = sharded_stores(corpus, n_shards)
+
+        expected = single.query(300, 900)
+        merged = merge_window_results([s.query(300, 900) for s in stores])
+        assert np.array_equal(merged.user_counts, expected.user_counts)
+        assert np.array_equal(merged.flow_matrix, expected.flow_matrix)
+        assert merged.staleness_seconds == expected.staleness_seconds
+
+
+class TestMergeValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_window_results([])
+
+    def test_rejects_window_mismatch(self):
+        a = SummaryStore(WORLD)
+        b = SummaryStore(WORLD)
+        a.ingest(synth_corpus(3, n_tweets=50))
+        b.ingest(synth_corpus(4, n_tweets=50))
+        with pytest.raises(ValueError, match="window mismatch"):
+            merge_window_results([a.query(0, 60), b.query(0, 120)])
+
+    def test_staleness_is_min_over_shards(self):
+        """A fresh shard bounds the merged staleness from below.
+
+        The merged value must equal what a single store holding the
+        union would report: the global watermark is the max over
+        shards, so staleness is the min.
+        """
+        fresh, lagging = SummaryStore(WORLD), SummaryStore(WORLD)
+        fresh.ingest(
+            [Tweet(user_id=1, timestamp=590.0,
+                   lat=AREAS[0].center.lat, lon=AREAS[0].center.lon)]
+        )
+        lagging.ingest(
+            [Tweet(user_id=2, timestamp=60.0,
+                   lat=AREAS[1].center.lat, lon=AREAS[1].center.lon)]
+        )
+        merged = merge_window_results(
+            [fresh.query(0, 600), lagging.query(0, 600)]
+        )
+        union = SummaryStore(WORLD)
+        union.ingest(
+            [Tweet(user_id=2, timestamp=60.0,
+                   lat=AREAS[1].center.lat, lon=AREAS[1].center.lon),
+             Tweet(user_id=1, timestamp=590.0,
+                   lat=AREAS[0].center.lat, lon=AREAS[0].center.lon)]
+        )
+        assert merged.staleness_seconds == union.query(0, 600).staleness_seconds

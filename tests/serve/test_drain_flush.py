@@ -1,0 +1,103 @@
+"""Shutdown drain: `server_close()` must not lose the open summary tail.
+
+Regression test for the pre-cluster behaviour where tweets sitting in
+the open minute bucket at shutdown simply vanished — the watermark had
+never passed their minute, so they were neither finalized nor
+persisted.  `EstimationServer.server_close()` now drains the app
+(flush + persist) unless constructed with ``flush_on_drain=False``
+(the cluster worker opts out because it drains explicitly).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.world import World
+from repro.data.gazetteer import Scale, areas_for_scale
+from repro.serve import create_app, create_server
+from repro.summary.store import SummaryStore
+
+from tests.serve.conftest import make_store
+
+AREAS = areas_for_scale(Scale.NATIONAL)
+
+#: Mid-minute timestamps the watermark never passes on its own.
+OPEN_MINUTE = 9_000_000.0
+
+
+def tweet_record(user: int, offset: float, area: int = 0) -> dict:
+    return {
+        "user_id": user,
+        "timestamp": OPEN_MINUTE + offset,
+        "lat": AREAS[area].center.lat,
+        "lon": AREAS[area].center.lon,
+    }
+
+
+def serve_ingest_close(store, records, flush_on_drain: bool) -> None:
+    """Boot a real server, ingest, and shut it down."""
+    app = create_app(store, poll_interval=0.0)
+    server = create_server(
+        "127.0.0.1", 0, app, access_log_file=None, flush_on_drain=flush_on_drain
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        status, payload, _ = app.handle("POST", "/v1/ingest", {}, {"tweets": records})
+        assert status == 200
+        assert payload["accepted"] == len(records)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def recovered_count(store) -> int:
+    fresh = SummaryStore(
+        World.from_scale(Scale.NATIONAL),
+        artifacts=store,
+        namespace=Scale.NATIONAL.value,
+    )
+    fresh.recover()
+    result = fresh.query(OPEN_MINUTE - 60, OPEN_MINUTE + 120)
+    return result.n_tweets
+
+
+class TestDrainFlush:
+    def test_server_close_flushes_open_minutes(self, tmp_path):
+        store = make_store(tmp_path, users=400, seed=5)
+        records = [tweet_record(u, float(u % 50), u % 4) for u in range(25)]
+        serve_ingest_close(store, records, flush_on_drain=True)
+        assert recovered_count(store) == 25
+
+    def test_flush_on_drain_false_preserves_old_behaviour(self, tmp_path):
+        """Cluster workers drain explicitly; the server must not double-flush."""
+        store = make_store(tmp_path, users=400, seed=5)
+        records = [tweet_record(u, float(u % 50)) for u in range(10)]
+        serve_ingest_close(store, records, flush_on_drain=False)
+        assert recovered_count(store) == 0
+
+    def test_drain_is_idempotent(self, tmp_path):
+        store = make_store(tmp_path, users=400, seed=5)
+        app = create_app(store, poll_interval=0.0)
+        server = create_server("127.0.0.1", 0, app, access_log_file=None)
+        app.handle(
+            "POST", "/v1/ingest", {}, {"tweets": [tweet_record(u, 1.0) for u in range(5)]}
+        )
+        server.server_close()
+        second = app.drain()
+        assert second["summary_tiles_flushed"] == 0  # nothing left open
+        assert recovered_count(store) == 5
+
+    def test_drain_reports_flushed_tiles_and_clears_cache(self, tmp_path):
+        store = make_store(tmp_path, users=400, seed=5)
+        app = create_app(store, poll_interval=0.0)
+        app.handle(
+            "POST", "/v1/ingest", {},
+            {"tweets": [tweet_record(0, 1.0), tweet_record(1, 65.0)]},
+        )
+        app.handle("GET", "/v1/population", {}, None)  # populate the LRU
+        assert len(app.cache) > 0
+        drained = app.drain()
+        assert drained["summary_tiles_flushed"] >= 1
+        assert len(app.cache) == 0
