@@ -37,6 +37,7 @@ import repro
 from repro.data.corpus import TweetCorpus
 from repro.data.gazetteer import Scale
 from repro.data.io import DataFormatError, read_tweets_csv, write_tweets_csv
+from repro.geo.gazetteer import GazetteerSpecError
 from repro.epidemic import arrival_times, network_from_model
 from repro.experiments import (
     ExperimentContext,
@@ -100,6 +101,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for sharded generation (output is "
         "bit-identical to --jobs 1)",
     )
+    gen.add_argument(
+        "--gazetteer", default="legacy",
+        help="area system: 'legacy' or 'synth:<areas>[@<seed>]'",
+    )
 
     stats = sub.add_parser("stats", help="print Table I statistics for a corpus CSV")
     stats.add_argument("corpus", help="corpus CSV path")
@@ -114,6 +119,10 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument(
         "--no-cache", action="store_true",
         help="bypass the pipeline cache and run 'all' directly in-process",
+    )
+    exp.add_argument(
+        "--gazetteer", default="legacy",
+        help="area system: 'legacy' or 'synth:<areas>[@<seed>]'",
     )
 
     pipe = sub.add_parser(
@@ -143,6 +152,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="profile each executed task (cProfile); reports land next "
         "to the run manifest",
     )
+    prun.add_argument(
+        "--gazetteer", default="legacy",
+        help="area system: 'legacy' or 'synth:<areas>[@<seed>]'",
+    )
     pstatus = pipe_sub.add_parser(
         "status", help="per-task cache state for a configuration"
     )
@@ -150,6 +163,10 @@ def _build_parser() -> argparse.ArgumentParser:
     pstatus.add_argument("--users", type=int, default=40_000, help="users to synthesise")
     pstatus.add_argument("--seed", type=int, default=20150413, help="RNG seed")
     pstatus.add_argument("--cache-dir", help="artifact cache directory")
+    pstatus.add_argument(
+        "--gazetteer", default="legacy",
+        help="area system: 'legacy' or 'synth:<areas>[@<seed>]'",
+    )
     pclean = pipe_sub.add_parser("clean", help="delete every cached artifact and run")
     pclean.add_argument("--cache-dir", help="artifact cache directory")
 
@@ -204,6 +221,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="pre-fork worker processes with consistent-hash sharded "
         "ingest (1 = classic single-process serving)",
     )
+    serve.add_argument(
+        "--gazetteer", default="legacy",
+        help="area system: 'legacy' or 'synth:<areas>[@<seed>]'",
+    )
 
     summary = sub.add_parser(
         "summary", help="multi-resolution time-tiered summary store"
@@ -226,6 +247,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sback.add_argument(
         "--force", action="store_true", help="rebuild tiles, ignoring the cache"
     )
+    sback.add_argument(
+        "--gazetteer", default="legacy",
+        help="area system: 'legacy' or 'synth:<areas>[@<seed>]'",
+    )
     sstatus = summary_sub.add_parser(
         "status", help="tile inventory of a persisted summary namespace"
     )
@@ -236,6 +261,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="summary namespace to inspect",
     )
     sstatus.add_argument("--cache-dir", help="artifact cache directory")
+    sstatus.add_argument(
+        "--gazetteer", default="legacy",
+        help="area system: 'legacy' or 'synth:<areas>[@<seed>]'",
+    )
 
     epi = sub.add_parser("epidemic", help="disease-spread forecast on fitted mobility")
     epi.add_argument("--users", type=int, default=20_000, help="users to synthesise")
@@ -342,7 +371,12 @@ def _load_or_generate(args: argparse.Namespace) -> TweetCorpus:
         print(f"loading corpus from {args.corpus} ...", file=sys.stderr)
         return _read_corpus(args.corpus)
     print(f"synthesising corpus ({args.users} users) ...", file=sys.stderr)
-    return generate_corpus(SynthConfig(n_users=args.users, seed=args.seed)).corpus
+    config = SynthConfig(
+        n_users=args.users,
+        seed=args.seed,
+        gazetteer=getattr(args, "gazetteer", "legacy"),
+    )
+    return generate_corpus(config).corpus
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -351,7 +385,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         return 2
     start = time.time()  # repro: allow[determinism] CLI progress timing
     result = generate_corpus(
-        SynthConfig(n_users=args.users, seed=args.seed), jobs=args.jobs
+        SynthConfig(n_users=args.users, seed=args.seed, gazetteer=args.gazetteer),
+        jobs=args.jobs,
     )
     count = write_tweets_csv(result.corpus.iter_tweets(), args.out)
     print(
@@ -380,11 +415,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         try:
             suite, run = run_all_experiments_cached(
                 config=None if args.corpus else SynthConfig(
-                    n_users=args.users, seed=args.seed
+                    n_users=args.users, seed=args.seed, gazetteer=args.gazetteer
                 ),
                 corpus_path=args.corpus,
                 cache_dir=args.cache_dir,
                 jobs=args.jobs,
+                gazetteer=args.gazetteer,
             )
         except TaskFailure as failure:
             print(
@@ -398,9 +434,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return 0
     corpus = _load_or_generate(args)
     if args.which == "all":
-        print(run_all_experiments(corpus).render())
+        print(run_all_experiments(corpus, gazetteer=args.gazetteer).render())
         return 0
-    context = ExperimentContext(corpus)
+    context = ExperimentContext(corpus, gazetteer=args.gazetteer)
     runners = {
         "table1": lambda: run_table1(corpus),
         "fig1": lambda: run_fig1(corpus),
@@ -460,9 +496,13 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
 
     config = None
     if not args.corpus:
-        config = SynthConfig(n_users=args.users, seed=args.seed)
+        config = SynthConfig(
+            n_users=args.users, seed=args.seed, gazetteer=args.gazetteer
+        )
     if args.pipeline_command == "status":
-        pipeline = suite_pipeline(config=config, corpus_path=args.corpus)
+        pipeline = suite_pipeline(
+            config=config, corpus_path=args.corpus, gazetteer=args.gazetteer
+        )
         print(_pipeline_status_text(pipeline, store))
         return 0
 
@@ -477,6 +517,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             targets=targets,
             trace=args.trace,
             profile=args.profile,
+            gazetteer=args.gazetteer,
         )
     except TaskFailure as failure:
         print(
@@ -563,6 +604,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             poll_interval=args.poll_interval,
             max_body_bytes=args.max_body_kb * 1024,
             with_summary=not args.no_summary,
+            gazetteer=args.gazetteer,
         )
     except RegistryError as error:
         print(f"repro serve: {error}", file=sys.stderr)
@@ -593,6 +635,7 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir,
         monitor_scale=Scale(args.monitor_scale),
+        gazetteer=args.gazetteer,
         window_seconds=args.window_seconds,
         poll_interval=args.poll_interval,
         max_body_bytes=args.max_body_kb * 1024,
@@ -618,20 +661,28 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
 
 def _cmd_summary(args: argparse.Namespace) -> int:
     from repro.core.world import World
+    from repro.data.gazetteer import gazetteer_from_spec
     from repro.pipeline import ArtifactStore, TaskFailure
     from repro.summary import SummaryStore, backfill_summary
 
     store = ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
     scale = Scale(args.scale)
+    resolved = gazetteer_from_spec(args.gazetteer)
+    if resolved.is_legacy:
+        namespace = scale.value
+    else:
+        namespace = f"{resolved.namespace_slug}-{scale.value}"
     summary = SummaryStore(
-        World.from_scale(scale), artifacts=store, namespace=scale.value
+        World.from_scale(scale, gazetteer=resolved),
+        artifacts=store,
+        namespace=namespace,
     )
 
     if args.summary_command == "status":
         recovered = summary.recover()
         stats = summary.stats()
         print(f"cache dir: {store.root}")
-        print(f"namespace: {scale.value} ({recovered} persisted tiles)")
+        print(f"namespace: {namespace} ({recovered} persisted tiles)")
         for tier, count in stats["tiles"].items():
             print(f"  {tier:<8s} {count} tiles")
         watermark = stats["watermark"]
@@ -642,7 +693,9 @@ def _cmd_summary(args: argparse.Namespace) -> int:
         raise CLIError(f"--jobs must be >= 1, got {args.jobs}")
     config = None
     if not args.corpus:
-        config = SynthConfig(n_users=args.users, seed=args.seed)
+        config = SynthConfig(
+            n_users=args.users, seed=args.seed, gazetteer=args.gazetteer
+        )
         print(f"synthesising corpus ({args.users} users) ...", file=sys.stderr)
     summary.recover()
     try:
@@ -654,6 +707,7 @@ def _cmd_summary(args: argparse.Namespace) -> int:
             scale=scale,
             jobs=args.jobs,
             force=args.force,
+            gazetteer=args.gazetteer,
         )
     except TaskFailure as failure:
         print(
@@ -872,6 +926,9 @@ def main(argv: list[str] | None = None) -> int:
     }
     try:
         return handlers[args.command](args)
+    except GazetteerSpecError as error:
+        print(f"repro {args.command}: {error}", file=sys.stderr)
+        return 1
     except CLIError as error:
         print(f"repro {args.command}: {error}", file=sys.stderr)
         return error.code

@@ -56,6 +56,7 @@ class ClusterConfig:
     workers: int = 2
     cache_dir: str | None = None
     monitor_scale: Scale = Scale.NATIONAL
+    gazetteer: str | None = None
     window_seconds: float = 3600.0
     poll_interval: float = 2.0
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES

@@ -47,9 +47,18 @@ READY = b"R"
 HEARTBEAT = b"H"
 
 
-def summary_namespace(scale_value: str, shard: int, n_shards: int) -> str:
-    """The per-shard tile namespace (a single path segment)."""
-    return f"{scale_value}-s{shard}of{n_shards}"
+def summary_namespace(
+    scale_value: str, shard: int, n_shards: int, gazetteer: str | None = None
+) -> str:
+    """The per-shard tile namespace (a single path segment).
+
+    Non-legacy gazetteers prefix their slug so shard tile sets from
+    different area systems stay disjoint in one artifact store.
+    """
+    if gazetteer in (None, "", "legacy"):
+        return f"{scale_value}-s{shard}of{n_shards}"
+    slug = gazetteer.replace(":", "-").replace("@", "-")
+    return f"{slug}-{scale_value}-s{shard}of{n_shards}"
 
 
 def _heartbeat_loop(fd: int, interval: float, stop: threading.Event) -> None:
@@ -91,8 +100,12 @@ def worker_main(
             max_body_bytes=config.max_body_bytes,
             with_summary=config.with_summary,
             summary_namespace=summary_namespace(
-                config.monitor_scale.value, shard, config.workers
+                config.monitor_scale.value,
+                shard,
+                config.workers,
+                gazetteer=config.gazetteer,
             ),
+            gazetteer=config.gazetteer,
         )
         router = ShardRouter(
             shard, HashRing(config.workers), peer_addrs, app

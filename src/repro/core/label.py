@@ -32,28 +32,28 @@ from repro import obs
 from repro.core.world import World
 from repro.data.schema import Tweet
 from repro.geo.distance import points_to_point_km
-from repro.geo.index import BruteForceIndex, GridIndex
 
-#: Corpus size above which :func:`build_index` prefers the grid index.
-GRID_INDEX_THRESHOLD = 2000
+# build_index moved down into repro.geo.index so World can reach it
+# without a core-internal cycle; re-exported here for existing callers.
+from repro.geo.index import (  # noqa: F401  (re-exports)
+    GRID_INDEX_THRESHOLD,
+    BruteForceIndex,
+    GridIndex,
+    build_index,
+)
+
+#: Area count above which :func:`label_points` routes through the
+#: world's grid-bucketed centre index instead of the dense distance
+#: matrix.  The paper's worlds (20–60 areas) stay on the dense kernel —
+#: its exact floating-point sequence is pinned by the goldens — while
+#: country-scale gazetteers get O(points · candidates) labelling that
+#: the equivalence suite proves indistinguishable.
+DENSE_AREA_THRESHOLD = 128
 
 #: Default flush size of :class:`MicroBatchLabeler`.  Large enough that
 #: the per-batch numpy dispatch cost amortises to well under the cost of
 #: one scalar haversine, small enough to keep streaming latency low.
 DEFAULT_MICRO_BATCH = 1024
-
-
-def build_index(
-    lats: np.ndarray, lons: np.ndarray, prefer_grid: bool | None = None
-) -> GridIndex | BruteForceIndex:
-    """A spatial index over point columns, grid-backed for large sets."""
-    lats = np.asarray(lats, dtype=np.float64)
-    lons = np.asarray(lons, dtype=np.float64)
-    if prefer_grid is None:
-        prefer_grid = lats.size > GRID_INDEX_THRESHOLD
-    if prefer_grid:
-        return GridIndex(lats, lons)
-    return BruteForceIndex(lats, lons)
 
 
 def point_area_distances(world: World, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
@@ -83,10 +83,16 @@ def _column_distances(
 def label_points(world: World, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
     """Label coordinate arrays: nearest area within ε, else -1.
 
-    The dense micro-batch kernel: one ``(n_points, n_areas)`` distance
-    computation, masked to the ε-discs, nearest centre by argmin (first
-    minimum wins, i.e. ties resolve to the earlier area — exactly the
-    strict-``<`` update order of the index-accelerated batch path).
+    The micro-batch kernel.  Small worlds (≤ :data:`DENSE_AREA_THRESHOLD`
+    areas — every paper-scale world) run the dense path: one
+    ``(n_points, n_areas)`` distance computation, masked to the ε-discs,
+    nearest centre by argmin (first minimum wins, i.e. ties resolve to
+    the earlier area — exactly the strict-``<`` update order of the
+    index-accelerated batch path).  Country-scale worlds route through
+    the world's :class:`~repro.geo.index.CenterGridIndex`, which only
+    touches each point's candidate centres; the result is bitwise
+    identical to the dense path (argued in the index docstring, proven
+    by the hypothesis suite), just asymptotically cheaper.
     """
     lats = np.asarray(lats, dtype=np.float64)
     lons = np.asarray(lons, dtype=np.float64)
@@ -95,13 +101,37 @@ def label_points(world: World, lats: np.ndarray, lons: np.ndarray) -> np.ndarray
     if lats.size == 0 or world.n_areas == 0:
         return np.full(lats.size, -1, dtype=np.int64)
     with obs.span("core.label_points", points=int(lats.size), areas=world.n_areas) as sp:
-        distances = point_area_distances(world, lats, lons)
-        outside = distances > world.radius_km
-        distances[outside] = np.inf
-        labels = np.argmin(distances, axis=1).astype(np.int64)
-        labels[np.all(outside, axis=1)] = -1
+        if world.n_areas > DENSE_AREA_THRESHOLD:
+            labels = world.center_grid.label_points(lats, lons)
+        else:
+            distances = point_area_distances(world, lats, lons)
+            outside = distances > world.radius_km
+            distances[outside] = np.inf
+            labels = np.argmin(distances, axis=1).astype(np.int64)
+            labels[np.all(outside, axis=1)] = -1
         sp.set(labelled=int((labels >= 0).sum()))
     obs.counter("core.points_labelled", int(lats.size))
+    return labels
+
+
+def label_points_dense(world: World, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+    """The dense reference kernel, with no index dispatch.
+
+    Used by the equivalence suite and benchmarks as the brute-force
+    baseline at any world size; :func:`label_points` is the production
+    entry point.
+    """
+    lats = np.asarray(lats, dtype=np.float64)
+    lons = np.asarray(lons, dtype=np.float64)
+    if lats.shape != lons.shape or lats.ndim != 1:
+        raise ValueError("lats/lons must be equal-length 1-D arrays")
+    if lats.size == 0 or world.n_areas == 0:
+        return np.full(lats.size, -1, dtype=np.int64)
+    distances = point_area_distances(world, lats, lons)
+    outside = distances > world.radius_km
+    distances[outside] = np.inf
+    labels = np.argmin(distances, axis=1).astype(np.int64)
+    labels[np.all(outside, axis=1)] = -1
     return labels
 
 
@@ -114,6 +144,8 @@ def label_point(world: World, lat: float, lon: float) -> int:
     """
     if world.n_areas == 0:
         return -1
+    if world.n_areas > DENSE_AREA_THRESHOLD:
+        return world.center_grid.label_point(lat, lon)
     distances = world.distances_to_point(lat, lon)
     nearest = int(np.argmin(distances))
     if distances[nearest] <= world.radius_km:

@@ -22,9 +22,17 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.data.gazetteer import Area, Scale, areas_for_scale, search_radius_km
+from repro.data.gazetteer import (
+    Area,
+    Gazetteer,
+    Scale,
+    areas_for_scale,
+    gazetteer_from_spec,
+    search_radius_km,
+)
 from repro.geo.distance import pairwise_distance_matrix, points_to_point_km
-from repro.geo.index import BruteForceIndex
+from repro.geo.index import BruteForceIndex, CenterGridIndex, GridIndex, build_index
+from repro.geo.polygon import Polygon
 
 
 @dataclass(frozen=True)
@@ -58,14 +66,30 @@ class World:
         return cls(areas=tuple(areas), radius_km=float(radius_km))
 
     @classmethod
-    def from_scale(cls, scale: Scale, radius_km: float | None = None) -> "World":
+    def from_scale(
+        cls,
+        scale: Scale,
+        radius_km: float | None = None,
+        gazetteer: "Gazetteer | str | None" = None,
+    ) -> "World":
         """The gazetteer world of one paper scale (ε from Section III).
 
         Pass ``radius_km`` to override the scale's default radius, e.g.
-        the 0.5 km metropolitan sensitivity check of Fig 3(b).
+        the 0.5 km metropolitan sensitivity check of Fig 3(b).  Pass
+        ``gazetteer`` (a resolved :class:`~repro.data.gazetteer.Gazetteer`
+        or a spec string like ``synth:1000``) to build the scale over a
+        country-scale synthetic area system instead of the paper's 60
+        areas; the default keeps the legacy tables and never touches the
+        generator.
         """
-        radius = search_radius_km(scale) if radius_km is None else float(radius_km)
-        return cls(areas=areas_for_scale(scale), radius_km=radius)
+        if gazetteer is None:
+            radius = search_radius_km(scale) if radius_km is None else float(radius_km)
+            return cls(areas=areas_for_scale(scale), radius_km=radius)
+        resolved = gazetteer_from_spec(gazetteer)
+        radius = (
+            resolved.search_radius_km(scale) if radius_km is None else float(radius_km)
+        )
+        return cls(areas=resolved.areas_for_scale(scale), radius_km=radius)
 
     def with_radius(self, radius_km: float) -> "World":
         """The same areas under a different search radius.
@@ -127,15 +151,40 @@ class World:
         return pairwise_distance_matrix([a.center for a in self.areas])
 
     @cached_property
-    def centers_index(self) -> BruteForceIndex:
+    def centers_index(self) -> "GridIndex | BruteForceIndex":
         """A spatial index over the area centres.
 
-        Area sets are small (20 per scale in the paper), so brute force
-        is the right structure; the index exists so future sharded
-        deployments with thousands of areas can swap in a grid without
-        touching consumers.
+        Brute force below :data:`repro.geo.index.GRID_INDEX_THRESHOLD`
+        centres (the paper's 60-area worlds), grid-bucketed above it
+        (country-scale gazetteers); both answer radius queries
+        identically, proven by the equivalence suite.
         """
-        return BruteForceIndex(self.centers_lat, self.centers_lon)
+        return build_index(self.centers_lat, self.centers_lon)
+
+    @cached_property
+    def center_grid(self) -> CenterGridIndex:
+        """The grid-bucketed ε-labelling index over the area centres.
+
+        Built lazily: only the large-world labelling path (see
+        :func:`repro.core.label.label_points`) touches it, so the
+        paper's 60-area worlds never pay for candidate registration.
+        """
+        return CenterGridIndex(self.centers_lat, self.centers_lon, self.radius_km)
+
+    @cached_property
+    def footprints(self) -> tuple["Polygon | None", ...]:
+        """Polygon footprints aligned with label indices.
+
+        ``None`` for areas without boundary geometry (the legacy
+        gazetteer); synthetic gazetteers supply a convex footprint for
+        every area, and the footprints of one scale tile the country.
+        """
+        return tuple(area.footprint for area in self.areas)
+
+    @property
+    def has_footprints(self) -> bool:
+        """Whether every area carries a polygon footprint."""
+        return all(footprint is not None for footprint in self.footprints)
 
     def distances_to_point(self, lat: float, lon: float) -> np.ndarray:
         """Haversine distance from every centre to one point.

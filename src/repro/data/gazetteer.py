@@ -14,17 +14,28 @@ hardcodes public, approximate coordinates and populations for the same
 areas.  The approximation is documented in DESIGN.md; nothing downstream
 depends on the exact values, only on their relative magnitudes and the
 distance structure of the set.
+
+Beyond the paper's 60 areas, :func:`gazetteer_from_spec` resolves a
+``--gazetteer`` spec string to a :class:`Gazetteer`: either the legacy
+tables above (``legacy``) or a country-scale synthetic area system
+(``synth:<areas>[@<seed>]``) adapted from
+:mod:`repro.geo.gazetteer` — thousands of hierarchical polygon areas
+mapped onto the same three scales (states → national, cities → state,
+suburbs → metropolitan) under the same ε radii.  The legacy path never
+touches the generator, so the paper's numbers cannot shift.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
+from functools import lru_cache
 
 import numpy as np
 
 from repro.geo.coords import Coordinate
 from repro.geo.distance import pairwise_distance_matrix
+from repro.geo.polygon import Polygon
 
 
 class Scale(Enum):
@@ -52,12 +63,20 @@ METRO_SENSITIVITY_RADIUS_KM = 0.5
 
 @dataclass(frozen=True, slots=True)
 class Area:
-    """A named study area: a centre coordinate and a census population."""
+    """A named study area: a centre coordinate and a census population.
+
+    Synthetic-gazetteer areas additionally carry their position in the
+    hierarchy (``parent`` — the enclosing area's name) and a convex
+    polygon ``footprint``; the paper's hardcoded areas leave both at
+    their defaults, so nothing about the legacy gazetteer changes.
+    """
 
     name: str
     center: Coordinate
     population: int
     scale: Scale
+    parent: str | None = None
+    footprint: Polygon | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.population <= 0:
@@ -202,3 +221,115 @@ def mean_pairwise_distance_km(scale: Scale) -> float:
     n = matrix.shape[0]
     off_diagonal = matrix[~np.eye(n, dtype=bool)]
     return float(off_diagonal.mean())
+
+
+# -- scale-parametric gazetteers ----------------------------------------
+
+#: Synthetic hierarchy levels, coarse to fine, aligned with the scales.
+_LEVEL_FOR_SCALE: dict[Scale, str] = {
+    Scale.NATIONAL: "state",
+    Scale.STATE: "city",
+    Scale.METROPOLITAN: "suburb",
+}
+
+
+@dataclass(frozen=True)
+class Gazetteer:
+    """An area system at all three paper scales under one name.
+
+    The legacy instance wraps the hardcoded tables above; synthetic
+    instances adapt a :class:`repro.geo.gazetteer.SyntheticGazetteer`.
+    Consumers that take a ``Gazetteer`` instead of calling the
+    module-level functions become scale-parametric for free.
+    """
+
+    name: str
+    areas_by_scale: dict[Scale, tuple[Area, ...]]
+    radii: dict[Scale, float]
+
+    def areas_for_scale(self, scale: Scale) -> tuple[Area, ...]:
+        """The areas at one scale, in label-index order."""
+        return self.areas_by_scale[scale]
+
+    def search_radius_km(self, scale: Scale) -> float:
+        """The ε radius for a scale."""
+        return self.radii[scale]
+
+    def all_areas(self) -> tuple[Area, ...]:
+        """All areas, national then state then metropolitan order."""
+        return (
+            self.areas_by_scale[Scale.NATIONAL]
+            + self.areas_by_scale[Scale.STATE]
+            + self.areas_by_scale[Scale.METROPOLITAN]
+        )
+
+    @property
+    def is_legacy(self) -> bool:
+        """Whether this is the paper's hardcoded 60-area gazetteer."""
+        return self.name == "legacy"
+
+    @property
+    def n_areas(self) -> int:
+        """Total area count across the three scales."""
+        return sum(len(areas) for areas in self.areas_by_scale.values())
+
+    @property
+    def namespace_slug(self) -> str:
+        """A filesystem/namespace-safe token naming this gazetteer.
+
+        Used to qualify summary-store namespaces so tiles from different
+        gazetteers can never collide (``synth:1000@7`` → ``synth-1000-7``).
+        """
+        return self.name.replace(":", "-").replace("@", "-")
+
+
+#: The paper's gazetteer, wrapped: same tuples, same radii objects.
+LEGACY_GAZETTEER = Gazetteer(name="legacy", areas_by_scale=_AREAS, radii=SEARCH_RADIUS_KM)
+
+
+@lru_cache(maxsize=8)
+def _synthetic_gazetteer(spec_string: str) -> Gazetteer:
+    # Imported lazily so the legacy path never touches (or pays for)
+    # the generator module; the regression suite monkeypatches
+    # build_gazetteer to raise and asserts legacy worlds still build.
+    from repro.geo.gazetteer import cached_gazetteer
+
+    synthetic = cached_gazetteer(spec_string)
+    areas_by_scale: dict[Scale, tuple[Area, ...]] = {}
+    for scale, level in _LEVEL_FOR_SCALE.items():
+        areas_by_scale[scale] = tuple(
+            Area(
+                name=synth.name,
+                center=synth.center,
+                population=synth.population,
+                scale=scale,
+                parent=synth.parent,
+                footprint=synth.footprint,
+            )
+            for synth in synthetic.by_level(level)
+        )
+    return Gazetteer(
+        name=spec_string,
+        areas_by_scale=areas_by_scale,
+        radii=dict(SEARCH_RADIUS_KM),
+    )
+
+
+def gazetteer_from_spec(spec: "str | Gazetteer | None") -> Gazetteer:
+    """Resolve a ``--gazetteer`` spec to a :class:`Gazetteer`.
+
+    ``None``, ``""`` and ``"legacy"`` resolve to the paper's tables
+    without importing the generator; ``synth:<areas>[@<seed>]`` builds
+    (or reuses, via the process-wide cache) a synthetic country.  An
+    already-resolved :class:`Gazetteer` passes through unchanged.
+    """
+    if isinstance(spec, Gazetteer):
+        return spec
+    if spec is None or spec == "" or spec == "legacy":
+        return LEGACY_GAZETTEER
+    from repro.geo.gazetteer import parse_gazetteer_spec
+
+    parsed = parse_gazetteer_spec(spec)
+    if parsed is None:
+        return LEGACY_GAZETTEER
+    return _synthetic_gazetteer(parsed.spec_string)

@@ -39,16 +39,19 @@ class ExperimentSuiteResult:
         return rule.join(sections)
 
 
-def run_all_experiments(corpus: TweetCorpus) -> ExperimentSuiteResult:
+def run_all_experiments(
+    corpus: TweetCorpus, gazetteer: str | None = None
+) -> ExperimentSuiteResult:
     """Run Table I, Figs 1–4 and Table II on a corpus, sharing extraction.
 
     The Fig 4 fits are reused by Table II, so the full suite costs one
     spatial index build, one labelling pass per scale and one model fit
-    per (scale, model).  This always executes every artefact in-process;
-    for the cached, process-parallel variant use
-    :func:`repro.pipeline.run_all_experiments_cached`.
+    per (scale, model).  ``gazetteer`` selects the measuring area system
+    (``None``/``"legacy"`` for the paper's 60 areas).  This always
+    executes every artefact in-process; for the cached, process-parallel
+    variant use :func:`repro.pipeline.run_all_experiments_cached`.
     """
-    context = ExperimentContext(corpus)
+    context = ExperimentContext(corpus, gazetteer=gazetteer)
     fig4 = run_fig4(context)
     table2 = table2_from_fig4(fig4)
     return ExperimentSuiteResult(

@@ -45,19 +45,31 @@ class ScaleSpec:
         return self.scale.value.capitalize()
 
 
-def default_scale_specs() -> tuple[ScaleSpec, ...]:
-    """The paper's three scales with their Section III radii."""
+def default_scale_specs(gazetteer: str | None = None) -> tuple[ScaleSpec, ...]:
+    """The three scales with their Section III radii.
+
+    Defaults to the paper's 60 legacy areas; pass a gazetteer spec
+    (``synth:1000``) to run the same three-scale structure over a
+    country-scale synthetic area system.
+    """
     return tuple(
-        ScaleSpec(scale=scale, world=World.from_scale(scale)) for scale in Scale
+        ScaleSpec(scale=scale, world=World.from_scale(scale, gazetteer=gazetteer))
+        for scale in Scale
     )
 
 
 class ExperimentContext:
     """A corpus plus lazily cached per-scale extraction products."""
 
-    def __init__(self, corpus: TweetCorpus, index: GridIndex | None = None) -> None:
+    def __init__(
+        self,
+        corpus: TweetCorpus,
+        index: GridIndex | None = None,
+        gazetteer: str | None = None,
+    ) -> None:
         self.corpus = corpus
-        self.specs = default_scale_specs()
+        self.gazetteer = gazetteer
+        self.specs = default_scale_specs(gazetteer)
         self._index = index
         self._worlds: dict[tuple[Scale, float], World] = {}
         self._observations: dict[tuple[Scale, float], list[AreaObservation]] = {}

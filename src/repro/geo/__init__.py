@@ -18,7 +18,11 @@ The modules are intentionally small and dependency-light:
     the paper) and as the bucket layer of the spatial index.
 ``index``
     ε-radius neighbour queries: a grid-accelerated index and a brute-force
-    reference implementation used to cross-check it.
+    reference implementation used to cross-check it, plus the
+    grid-bucketed nearest-centre labeller for country-scale area sets.
+``gazetteer``
+    Deterministic synthesis of country-scale hierarchical area systems
+    (states tiled by cities tiled by suburbs, as convex Voronoi cells).
 ``projection``
     A local equirectangular projection for small-area work (metropolitan
     scale) where planar geometry is an adequate approximation.
@@ -35,20 +39,40 @@ from repro.geo.distance import (
     pairwise_distance_matrix,
     points_to_point_km,
 )
+from repro.geo.gazetteer import (
+    GazetteerSpec,
+    SynthArea,
+    SyntheticGazetteer,
+    build_gazetteer,
+    parse_gazetteer_spec,
+)
 from repro.geo.grid import DensityGrid, GridSpec
-from repro.geo.index import BruteForceIndex, GridIndex, RadiusQueryResult
+from repro.geo.index import (
+    BruteForceIndex,
+    CenterGridIndex,
+    GridIndex,
+    RadiusQueryResult,
+    build_index,
+)
 from repro.geo.projection import LocalProjection
 
 __all__ = [
     "BoundingBox",
     "BruteForceIndex",
+    "CenterGridIndex",
     "Coordinate",
     "DensityGrid",
     "EARTH_RADIUS_KM",
+    "GazetteerSpec",
     "GridIndex",
     "GridSpec",
     "LocalProjection",
     "RadiusQueryResult",
+    "SynthArea",
+    "SyntheticGazetteer",
+    "build_gazetteer",
+    "build_index",
+    "parse_gazetteer_spec",
     "bearing_deg",
     "destination_point",
     "equirectangular_km",

@@ -30,9 +30,19 @@ class Polygon:
     implicitly.  All geometry is computed in a local equirectangular
     projection centred on the vertex mean, so polygons should stay
     within administrative-area scales (tens of kilometres).
+
+    Polygons that tile a region (the synthetic gazetteer's Voronoi
+    cells) must share one ``anchor``: containment is decided in the
+    projected plane, so only a common frame makes the half-open
+    boundary rule (see :meth:`contains`) consistent across neighbours —
+    each boundary point then belongs to exactly one tile.
     """
 
-    def __init__(self, vertices: Sequence[Coordinate | tuple[float, float]]) -> None:
+    def __init__(
+        self,
+        vertices: Sequence[Coordinate | tuple[float, float]],
+        anchor: Coordinate | tuple[float, float] | None = None,
+    ) -> None:
         if len(vertices) < 3:
             raise ValueError(f"polygon needs >= 3 vertices, got {len(vertices)}")
         latlon = []
@@ -43,9 +53,13 @@ class Polygon:
                 latlon.append((float(vertex[0]), float(vertex[1])))
         self.vertex_lats = np.array([p[0] for p in latlon])
         self.vertex_lons = np.array([p[1] for p in latlon])
-        anchor = Coordinate(
-            lat=float(self.vertex_lats.mean()), lon=float(self.vertex_lons.mean())
-        )
+        if anchor is None:
+            anchor = Coordinate(
+                lat=float(self.vertex_lats.mean()), lon=float(self.vertex_lons.mean())
+            )
+        elif not isinstance(anchor, Coordinate):
+            anchor = Coordinate(lat=float(anchor[0]), lon=float(anchor[1]))
+        self.anchor = anchor
         self._projection = LocalProjection(anchor)
         xy = self._projection.to_xy_many(self.vertex_lats, self.vertex_lons)
         self._x = xy[:, 0]
@@ -83,11 +97,24 @@ class Polygon:
         return float(np.hypot(dx, dy).sum())
 
     def contains(self, lat: float, lon: float) -> bool:
-        """Ray-casting containment test (boundary points may go either way)."""
+        """Ray-casting containment with a deterministic half-open edge rule.
+
+        Each edge is half-open in the projected plane: the crossing test
+        ``(y1 > py) != (y2 > py)`` counts an edge only when the point's
+        y-coordinate lies in ``[min(y1, y2), max(y1, y2))``, and the
+        strict ``px < x_at_py`` comparison puts points exactly on a
+        non-horizontal edge *outside* while the region to that edge's
+        left is *inside*.  Concretely: left and bottom boundaries are
+        in, right and top boundaries (and points on horizontal top
+        edges) are out.  When two polygons built with the same
+        ``anchor`` share an edge, every point of that edge is therefore
+        inside exactly one of them — tilings partition the plane with
+        no doubly-owned and no orphaned boundary points.
+        """
         return bool(self.contains_mask(np.array([lat]), np.array([lon]))[0])
 
     def contains_mask(self, lats_deg: np.ndarray, lons_deg: np.ndarray) -> np.ndarray:
-        """Vectorised ray casting for many points."""
+        """Vectorised ray casting for many points (same rule as :meth:`contains`)."""
         lats = np.asarray(lats_deg, dtype=np.float64)
         lons = np.asarray(lons_deg, dtype=np.float64)
         if lats.shape != lons.shape:

@@ -75,7 +75,11 @@ def _task_index(ctx: TaskContext) -> GridIndex:
 
 
 def _context(ctx: TaskContext) -> ExperimentContext:
-    return ExperimentContext(ctx.input("corpus"), index=ctx.input("index"))
+    return ExperimentContext(
+        ctx.input("corpus"),
+        index=ctx.input("index"),
+        gazetteer=ctx.params.get("gazetteer"),
+    )
 
 
 def _task_table1(ctx: TaskContext):
@@ -103,14 +107,23 @@ def _task_table2(ctx: TaskContext):
 
 
 def suite_pipeline(
-    config: SynthConfig | None = None, corpus_path: str | None = None
+    config: SynthConfig | None = None,
+    corpus_path: str | None = None,
+    gazetteer: str | None = None,
 ) -> Pipeline:
     """The experiment-suite DAG over a synthesised or on-disk corpus.
 
     Exactly one corpus source applies: ``corpus_path`` (cache-keyed by
     the file's content hash, so an edited file is a miss) wins over
     ``config`` (cache-keyed by every :class:`SynthConfig` field).
+
+    ``gazetteer`` selects the *measuring* area system for the
+    scale-dependent tasks (fig3/fig4/table2); it defaults to the
+    synthesis config's gazetteer so generating and measuring geography
+    agree, and participates in those tasks' cache keys.
     """
+    if gazetteer is None:
+        gazetteer = config.gazetteer if config is not None else "legacy"
     if corpus_path is not None:
         corpus_task = Task(
             name="corpus",
@@ -147,6 +160,7 @@ def suite_pipeline(
             name="fig3",
             fn=_task_fig3,
             deps=("corpus", "index"),
+            params={"gazetteer": gazetteer},
             version=TASK_VERSIONS["fig3"],
         )
     )
@@ -155,6 +169,7 @@ def suite_pipeline(
             name="fig4",
             fn=_task_fig4,
             deps=("corpus", "index"),
+            params={"gazetteer": gazetteer},
             version=TASK_VERSIONS["fig4"],
         )
     )
@@ -191,6 +206,7 @@ def run_suite(
     targets: tuple[str, ...] | None = None,
     trace: bool = False,
     profile: bool = False,
+    gazetteer: str | None = None,
 ) -> tuple[ExperimentSuiteResult | None, RunResult]:
     """Run (or cache-resolve) the suite; returns (suite, run provenance).
 
@@ -199,7 +215,7 @@ def run_suite(
     records a span tree into the run manifest; ``profile`` writes
     per-task cProfile hotspot reports into the run directory.
     """
-    pipeline = suite_pipeline(config=config, corpus_path=corpus_path)
+    pipeline = suite_pipeline(config=config, corpus_path=corpus_path, gazetteer=gazetteer)
     executor = Executor(store=store, jobs=jobs, force=force, trace=trace, profile=profile)
     run = executor.run(pipeline, targets=targets)
     if targets is not None and set(ARTEFACT_TASKS) - run.digests.keys():
@@ -213,6 +229,7 @@ def run_all_experiments_cached(
     cache_dir: str | None = None,
     jobs: int = 1,
     force: bool = False,
+    gazetteer: str | None = None,
 ) -> tuple[ExperimentSuiteResult, RunResult]:
     """Pipeline-backed suite: artifact-cached and process-parallel.
 
@@ -224,7 +241,8 @@ def run_all_experiments_cached(
     """
     store = ArtifactStore(cache_dir) if cache_dir else None
     suite, run = run_suite(
-        config=config, corpus_path=corpus_path, store=store, jobs=jobs, force=force
+        config=config, corpus_path=corpus_path, store=store, jobs=jobs,
+        force=force, gazetteer=gazetteer,
     )
     assert suite is not None  # no targets filter -> full suite
     return suite, run

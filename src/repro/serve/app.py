@@ -96,7 +96,7 @@ import numpy as np
 
 from repro import obs
 from repro.core.world import World
-from repro.data.gazetteer import Scale, areas_for_scale, search_radius_km
+from repro.data.gazetteer import Scale, gazetteer_from_spec
 from repro.data.schema import SchemaError
 from repro.pipeline.store import ArtifactStore
 from repro.serve.cache import LRUCache
@@ -871,6 +871,7 @@ def create_app(
     profile_requests: bool = False,
     with_summary: bool = True,
     summary_namespace: str | None = None,
+    gazetteer: str | None = None,
 ) -> EstimationApp:
     """Wire registry + ingest + metrics into an app over one store.
 
@@ -882,22 +883,32 @@ def create_app(
     restart without corpus replay.  ``summary_namespace`` overrides the
     store's tile namespace (cluster workers use
     ``"<scale>-s<shard>of<n>"`` so shards persist disjoint tile sets
-    through one artifact store).
+    through one artifact store).  ``gazetteer`` picks the monitored area
+    system (``legacy`` or ``synth:<areas>[@<seed>]``); non-legacy
+    gazetteers qualify the default summary namespace with the gazetteer
+    slug so tiles from different area systems never collide.
     """
     registry = ModelRegistry(store, poll_interval=poll_interval)
     if preload:
         registry.load()
+    resolved = gazetteer_from_spec(gazetteer)
     ingest = IngestService(
-        areas_for_scale(monitor_scale),
-        radius_km=search_radius_km(monitor_scale),
+        resolved.areas_for_scale(monitor_scale),
+        radius_km=resolved.search_radius_km(monitor_scale),
         window_seconds=window_seconds,
     )
     summary = None
     if with_summary:
+        if resolved.is_legacy:
+            default_namespace = monitor_scale.value
+            summary_world = World.from_scale(monitor_scale)
+        else:
+            default_namespace = f"{resolved.namespace_slug}-{monitor_scale.value}"
+            summary_world = World.from_scale(monitor_scale, gazetteer=resolved)
         summary = SummaryStore(
-            World.from_scale(monitor_scale),
+            summary_world,
             artifacts=store,
-            namespace=summary_namespace or monitor_scale.value,
+            namespace=summary_namespace or default_namespace,
         )
         summary.recover()
     return EstimationApp(

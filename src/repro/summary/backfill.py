@@ -156,7 +156,7 @@ def build_minute_buckets(
 
 def _task_summary_tiles(ctx: TaskContext) -> TileSet:
     scale = Scale(ctx.params["scale"])
-    world = World.from_scale(scale)
+    world = World.from_scale(scale, gazetteer=ctx.params.get("gazetteer"))
     corpus = ctx.input("corpus")
     tiles = build_minute_buckets(world, corpus, index=ctx.input("index"))
     return TileSet(
@@ -174,13 +174,16 @@ def summary_pipeline(
     config=None,
     corpus_path: str | None = None,
     scale: Scale = Scale.NATIONAL,
+    gazetteer: str | None = None,
 ) -> Pipeline:
     """Corpus → index → minute tiles as a cached task DAG.
 
     Reuses the suite's corpus and index tasks (same cache keys, so a
     piped corpus is a hit here and vice versa) and adds the tile build,
-    keyed by the corpus digest and the scale.
+    keyed by the corpus digest, the scale, and the gazetteer spec.
     """
+    if gazetteer is None:
+        gazetteer = config.gazetteer if config is not None else "legacy"
     base = suite_pipeline(config=config, corpus_path=corpus_path)
     pipeline = Pipeline([base.task("corpus"), base.task("index")])
     pipeline.add(
@@ -188,7 +191,7 @@ def summary_pipeline(
             name="summary_tiles",
             fn=_task_summary_tiles,
             deps=("corpus", "index"),
-            params={"scale": scale.value},
+            params={"scale": scale.value, "gazetteer": gazetteer},
             version=TILES_TASK_VERSION,
         )
     )
@@ -204,6 +207,7 @@ def backfill_summary(
     scale: Scale = Scale.NATIONAL,
     jobs: int = 1,
     force: bool = False,
+    gazetteer: str | None = None,
 ) -> tuple[TileSet, int, RunResult]:
     """Build (or cache-resolve) tiles and install them into a store.
 
@@ -212,7 +216,7 @@ def backfill_summary(
     finalized tile is persisted for restart recovery.
     """
     pipeline = summary_pipeline(
-        config=config, corpus_path=corpus_path, scale=scale
+        config=config, corpus_path=corpus_path, scale=scale, gazetteer=gazetteer
     )
     executor = Executor(store=store, jobs=jobs, force=force)
     run = executor.run(pipeline, targets=("summary_tiles",))

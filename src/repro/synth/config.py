@@ -97,6 +97,15 @@ class SynthConfig:
         to exercise :mod:`repro.data.validation`'s bot detection.
     start_ts, end_ts:
         Collection window (Unix seconds).
+    gazetteer:
+        Which area system the synthetic world is built around:
+        ``"legacy"`` (the paper's 60 hardcoded areas plus filler
+        suburbs — the default, byte-identical to all pinned goldens) or
+        a ``synth:<areas>[@<seed>]`` spec resolved through
+        :func:`repro.data.gazetteer.gazetteer_from_spec`, where users
+        live in the leaf suburbs of a country-scale synthetic
+        gazetteer.  Flows into the pipeline cache key like every other
+        field, so runs against different gazetteers never collide.
     """
 
     n_users: int = 40_000
@@ -137,6 +146,8 @@ class SynthConfig:
     start_ts: float = COLLECTION_START_TS
     end_ts: float = COLLECTION_END_TS
 
+    gazetteer: str = "legacy"
+
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -166,6 +177,11 @@ class SynthConfig:
             raise ValueError("diurnal_peak_hour must be in [0, 24)")
         if self.start_ts >= self.end_ts:
             raise ValueError("collection window is empty")
+        if self.gazetteer != "legacy":
+            # Fail malformed specs at config time, not mid-generation.
+            from repro.geo.gazetteer import parse_gazetteer_spec
+
+            parse_gazetteer_spec(self.gazetteer)
 
     def scaled(self, n_users: int) -> "SynthConfig":
         """A copy with a different user count and everything else intact."""

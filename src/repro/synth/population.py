@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.data.gazetteer import Scale, areas_for_scale
+from repro.data.gazetteer import Area, Scale, areas_for_scale, gazetteer_from_spec
 from repro.geo.coords import Coordinate
 from repro.geo.distance import destination_point, haversine_km, pairwise_distance_matrix
 from repro.synth.config import SynthConfig
@@ -160,7 +160,15 @@ def build_world(config: SynthConfig, rng: np.random.Generator) -> World:
     Deterministic given the RNG state; the generator derives a dedicated
     child RNG for this call so the world does not depend on how many
     random draws other stages consume.
+
+    With ``config.gazetteer != "legacy"`` the generating geography is
+    the leaf-suburb level of a country-scale synthetic gazetteer (the
+    suburbs tile the whole country, so no filler sites are needed); the
+    branch happens before any random draw, so the legacy path's draw
+    sequence — and therefore every pinned golden — is untouched.
     """
+    if config.gazetteer != "legacy":
+        return _build_gazetteer_world(config, rng)
     sites: list[WorldSite] = []
 
     def add_site(name: str, center: Coordinate, population: int, scatter: float, kind: str) -> None:
@@ -214,6 +222,49 @@ def build_world(config: SynthConfig, rng: np.random.Generator) -> World:
             )
             covered.append(city.center)
 
+    return World(sites)
+
+
+def _suburb_scatter_km(area: Area) -> float:
+    """Scatter scale for a synthetic-gazetteer leaf suburb.
+
+    Derived from the footprint: activity spreads over a fraction of the
+    cell (sparse outback cells are hundreds of km across but activity
+    still clusters), clamped to the same [0.9, 14] km band the legacy
+    world uses for suburbs and cities.
+    """
+    if area.footprint is None:
+        return 0.9
+    return float(min(14.0, max(0.9, 0.25 * math.sqrt(area.footprint.area_km2))))
+
+
+def _build_gazetteer_world(config: SynthConfig, rng: np.random.Generator) -> World:
+    """The generating geography of a country-scale synthetic gazetteer.
+
+    One :class:`WorldSite` per leaf suburb, carrying the suburb's exact
+    integer population — the leaves tile the country and sum to the
+    census total by construction, so the measuring geography (ε-discs
+    at any of the three scales) sees a consistent population field.
+    Note the gravity matrix is O(leaves²); corpus generation is meant
+    for ≲ 2k-leaf gazetteers, while labelling benchmarks exercise 5k+
+    areas without generating a corpus.
+    """
+    gaz = gazetteer_from_spec(config.gazetteer)
+    sites: list[WorldSite] = []
+    for area in gaz.areas_for_scale(Scale.METROPOLITAN):
+        scatter = _suburb_scatter_km(area)
+        activity_center = _offset_center(area.center, scatter, config.center_offset_frac, rng)
+        sites.append(
+            WorldSite(
+                name=area.name,
+                center=area.center,
+                activity_center=activity_center,
+                population=area.population,
+                scatter_km=scatter,
+                kind="suburb",
+                hotspots=_make_hotspots(activity_center, scatter, rng),
+            )
+        )
     return World(sites)
 
 

@@ -1,0 +1,135 @@
+"""Hypothesis property suite: gazetteer hierarchy and tiling invariants.
+
+The generator's contract is *containment by construction*: one Voronoi
+synthesis emits all three scales, so every suburb sits inside its city,
+every city inside its state, and each scale's footprints tile the
+country rectangle.  These properties are checked over randomly drawn
+points against a small pool of prebuilt gazetteers (building one per
+hypothesis example would dominate the run).
+
+Boundary caution: adjacent Voronoi cells clip their shared edge
+independently, so edge vertices can differ by ~1 ulp between
+neighbours.  Random interior points never land on an edge; the *exact*
+shared-edge/shared-vertex ownership guarantees are covered by the
+hand-built identical-vertex squares in ``test_polygon.py``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.world import World
+from repro.data.gazetteer import Scale
+from repro.geo.bbox import AUSTRALIA_BBOX
+from repro.geo.gazetteer import GazetteerSpec, SyntheticGazetteer, build_gazetteer
+
+#: (n_areas, seed) pool: a tiny, a mid and a hundred-leaf gazetteer.
+SPEC_POOL = ((12, 1), (48, 2), (120, 3))
+
+#: Margin keeping drawn points clearly interior to the country box.
+EDGE_PAD = 1e-6
+
+
+@lru_cache(maxsize=None)
+def _gazetteer(n_areas: int, seed: int) -> SyntheticGazetteer:
+    return build_gazetteer(GazetteerSpec(n_areas=n_areas, seed=seed))
+
+
+@lru_cache(maxsize=None)
+def _world(n_areas: int, seed: int, scale: Scale) -> World:
+    return World.from_scale(scale, gazetteer=f"synth:{n_areas}@{seed}")
+
+
+lat_strategy = st.floats(
+    min_value=AUSTRALIA_BBOX.min_lat + EDGE_PAD,
+    max_value=AUSTRALIA_BBOX.max_lat - EDGE_PAD,
+    allow_nan=False,
+    allow_infinity=False,
+)
+lon_strategy = st.floats(
+    min_value=AUSTRALIA_BBOX.min_lon + EDGE_PAD,
+    max_value=AUSTRALIA_BBOX.max_lon - EDGE_PAD,
+    allow_nan=False,
+    allow_infinity=False,
+)
+spec_strategy = st.sampled_from(SPEC_POOL)
+
+
+@given(spec=spec_strategy, lat=lat_strategy, lon=lon_strategy)
+@settings(max_examples=80, deadline=None)
+def test_each_level_owns_every_interior_point_exactly_once(spec, lat, lon):
+    """The footprints of one level tile the country: one owner per point."""
+    gazetteer = _gazetteer(*spec)
+    for level in (gazetteer.states, gazetteer.cities, gazetteer.suburbs):
+        owners = [a.name for a in level if a.footprint.contains(lat, lon)]
+        assert len(owners) == 1, (
+            f"{len(owners)} owners at level of {level[0].level}: {owners}"
+        )
+
+
+@given(spec=spec_strategy, lat=lat_strategy, lon=lon_strategy)
+@settings(max_examples=80, deadline=None)
+def test_ownership_nests_up_the_hierarchy(spec, lat, lon):
+    """The suburb owning a point belongs to the city and state owning it."""
+    gazetteer = _gazetteer(*spec)
+    suburb = next(
+        a for a in gazetteer.suburbs if a.footprint.contains(lat, lon)
+    )
+    city = next(a for a in gazetteer.cities if a.footprint.contains(lat, lon))
+    state = next(a for a in gazetteer.states if a.footprint.contains(lat, lon))
+    assert suburb.parent == city.name
+    assert city.parent == state.name
+
+
+@given(spec=spec_strategy)
+@settings(max_examples=12, deadline=None)
+def test_population_conserved_across_scales(spec):
+    """Every scale's populations sum to the same country total."""
+    gazetteer = _gazetteer(*spec)
+    total = gazetteer.spec.total_population
+    for level in (gazetteer.states, gazetteer.cities, gazetteer.suburbs):
+        assert sum(a.population for a in level) == total
+
+
+@given(spec=spec_strategy)
+@settings(max_examples=12, deadline=None)
+def test_suburb_centroids_contained_in_parent_footprints(spec):
+    """Each leaf's centre lies inside its parent city and state."""
+    gazetteer = _gazetteer(*spec)
+    cities = {a.name: a for a in gazetteer.cities}
+    states = {a.name: a for a in gazetteer.states}
+    for suburb in gazetteer.suburbs:
+        lat, lon = suburb.center.lat, suburb.center.lon
+        city = cities[suburb.parent]
+        assert city.footprint.contains(lat, lon), suburb.name
+        assert states[city.parent].footprint.contains(lat, lon), suburb.name
+
+
+@given(spec=spec_strategy, lat=lat_strategy, lon=lon_strategy)
+@settings(max_examples=40, deadline=None)
+def test_world_per_scale_footprints_are_disjoint_and_covering(spec, lat, lon):
+    """``World.from_scale`` exposes each scale as a disjoint covering tiling."""
+    for scale in Scale:
+        world = _world(spec[0], spec[1], scale)
+        assert world.has_footprints
+        owners = sum(
+            1 for footprint in world.footprints if footprint.contains(lat, lon)
+        )
+        assert owners == 1, f"{owners} owners at {scale.value}"
+
+
+@given(spec=spec_strategy)
+@settings(max_examples=12, deadline=None)
+def test_world_area_counts_match_levels(spec):
+    """Scale→level mapping: national=states, state=cities, metro=suburbs."""
+    gazetteer = _gazetteer(*spec)
+    expected = {
+        Scale.NATIONAL: len(gazetteer.states),
+        Scale.STATE: len(gazetteer.cities),
+        Scale.METROPOLITAN: len(gazetteer.suburbs),
+    }
+    for scale, count in expected.items():
+        assert _world(spec[0], spec[1], scale).n_areas == count

@@ -81,6 +81,80 @@ class TestContainment:
             polygon.contains_mask(np.zeros(2), np.zeros(3))
 
 
+class TestHalfOpenBoundaryRule:
+    """Tiling polygons partition the plane: every boundary point has
+    exactly one owner under the half-open rule (left/bottom edges in,
+    right/top edges out).  The squares share bitwise-identical vertices
+    and one projection anchor, so the rule is exercised exactly."""
+
+    ANCHOR = (0.0, 0.0)
+
+    def _square(self, lat0, lon0, size=1.0):
+        return Polygon(
+            [
+                (lat0, lon0),
+                (lat0, lon0 + size),
+                (lat0 + size, lon0 + size),
+                (lat0 + size, lon0),
+            ],
+            anchor=self.ANCHOR,
+        )
+
+    def test_shared_edge_single_ownership(self):
+        left = self._square(0.0, -1.0)
+        right = self._square(0.0, 0.0)
+        # Points along the shared vertical edge lon=0 belong to exactly
+        # one square (the one whose left edge it is).
+        for lat in (0.0, 0.25, 0.5, 0.9999):
+            owners = [p.contains(lat, 0.0) for p in (left, right)]
+            assert sum(owners) == 1, f"lat={lat}: {owners}"
+            assert right.contains(lat, 0.0)
+
+    def test_shared_horizontal_edge_single_ownership(self):
+        bottom = self._square(-1.0, 0.0)
+        top = self._square(0.0, 0.0)
+        for lon in (0.0, 0.25, 0.5, 0.9999):
+            owners = [p.contains(0.0, lon) for p in (bottom, top)]
+            assert sum(owners) == 1, f"lon={lon}: {owners}"
+            assert top.contains(0.0, lon)
+
+    def test_shared_vertex_single_ownership(self):
+        # Four squares meeting at the origin: the vertex belongs to
+        # exactly one — the square whose bottom-left corner it is.
+        quads = [
+            self._square(lat0, lon0)
+            for lat0 in (-1.0, 0.0)
+            for lon0 in (-1.0, 0.0)
+        ]
+        owners = [q.contains(0.0, 0.0) for q in quads]
+        assert sum(owners) == 1, owners
+        assert self._square(0.0, 0.0).contains(0.0, 0.0)
+
+    def test_every_interior_point_of_a_2x2_tiling_owned_once(self):
+        quads = [
+            self._square(lat0, lon0)
+            for lat0 in (-1.0, 0.0)
+            for lon0 in (-1.0, 0.0)
+        ]
+        rng = np.random.default_rng(3)
+        lats = rng.uniform(-0.999, 0.999, 300)
+        lons = rng.uniform(-0.999, 0.999, 300)
+        for lat, lon in zip(lats, lons):
+            assert sum(q.contains(lat, lon) for q in quads) == 1
+
+    def test_contains_mask_agrees_on_boundary(self):
+        square = self._square(0.0, 0.0)
+        lats = np.array([0.0, 0.0, 1.0, 0.5, 0.5])
+        lons = np.array([0.0, 0.5, 0.5, 0.0, 1.0])
+        mask = square.contains_mask(lats, lons)
+        for i in range(lats.size):
+            assert mask[i] == square.contains(lats[i], lons[i])
+
+    def test_explicit_anchor_is_stored(self):
+        square = self._square(0.0, 0.0)
+        assert square.anchor is not None
+
+
 class TestRegularPolygon:
     def test_vertices_at_circumradius(self):
         hexagon = regular_polygon(SYDNEY, 10.0, n_vertices=6)

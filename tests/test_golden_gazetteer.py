@@ -1,0 +1,118 @@
+"""Golden regression test: a pinned seeded 1k-area gazetteer run.
+
+The synthetic gazetteer is a deterministic function of its spec, and
+the grid labelling index is bitwise-equivalent to the dense kernel —
+so every number below is exactly reproducible.  The pin covers the
+generator (structure, populations, exact centre coordinates) and the
+labelling path over it (exact label counts of a seeded point cloud at
+each scale), so a refactor of either that shifts any output fails
+loudly instead of drifting silently.
+
+Regenerate after an *intentional* change with the snippet in
+:func:`_regenerate` and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.label import label_points
+from repro.core.world import World
+from repro.data.gazetteer import Scale
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_gazetteer_1k.json"
+
+SPEC = "synth:1000@20150413"
+
+#: Seeded probe cloud labelled at every scale.
+N_POINTS = 2000
+POINT_SEED = 77
+
+RTOL = 1e-9
+
+
+def _probe_points() -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(POINT_SEED)
+    lats = rng.uniform(-54.0, -10.0, N_POINTS)
+    lons = rng.uniform(113.0, 159.0, N_POINTS)
+    return lats, lons
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def worlds() -> dict[Scale, World]:
+    return {scale: World.from_scale(scale, gazetteer=SPEC) for scale in Scale}
+
+
+class TestGazetteerGolden:
+    def test_structure_counts(self, golden, worlds):
+        for scale in Scale:
+            assert worlds[scale].n_areas == golden["n_areas"][scale.value]
+
+    def test_total_population_per_scale(self, golden, worlds):
+        for scale in Scale:
+            total = int(worlds[scale].populations.sum())
+            assert total == golden["total_population"]
+
+    def test_first_and_last_area_pinned(self, golden, worlds):
+        for scale in Scale:
+            world = worlds[scale]
+            for key, area in (("first", world.areas[0]), ("last", world.areas[-1])):
+                expected = golden["areas"][scale.value][key]
+                assert area.name == expected["name"]
+                assert area.population == expected["population"]
+                assert area.center.lat == pytest.approx(expected["lat"], rel=RTOL)
+                assert area.center.lon == pytest.approx(expected["lon"], rel=RTOL)
+
+    def test_label_histogram_pinned(self, golden, worlds):
+        """Exact per-scale labelling outcomes of the seeded probe cloud."""
+        lats, lons = _probe_points()
+        for scale in Scale:
+            labels = label_points(worlds[scale], lats, lons)
+            expected = golden["labels"][scale.value]
+            assert int((labels >= 0).sum()) == expected["n_labelled"]
+            assert int(labels[labels >= 0].sum()) == expected["label_sum"]
+            assert labels[:20].tolist() == expected["head"]
+
+
+def _regenerate() -> None:  # pragma: no cover - maintenance helper
+    """Rebuild the golden file after an *intentional* behaviour change.
+
+    Run with ``PYTHONPATH=src python -c
+    "from tests.test_golden_gazetteer import _regenerate; _regenerate()"``.
+    """
+    worlds = {scale: World.from_scale(scale, gazetteer=SPEC) for scale in Scale}
+    lats, lons = _probe_points()
+    golden: dict = {
+        "spec": SPEC,
+        "n_areas": {s.value: worlds[s].n_areas for s in Scale},
+        "total_population": int(worlds[Scale.NATIONAL].populations.sum()),
+        "areas": {},
+        "labels": {},
+    }
+    for scale, world in worlds.items():
+        first, last = world.areas[0], world.areas[-1]
+        golden["areas"][scale.value] = {
+            key: {
+                "name": area.name,
+                "population": area.population,
+                "lat": area.center.lat,
+                "lon": area.center.lon,
+            }
+            for key, area in (("first", first), ("last", last))
+        }
+        labels = label_points(world, lats, lons)
+        golden["labels"][scale.value] = {
+            "n_labelled": int((labels >= 0).sum()),
+            "label_sum": int(labels[labels >= 0].sum()),
+            "head": labels[:20].tolist(),
+        }
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2) + "\n")
