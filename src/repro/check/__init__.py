@@ -18,13 +18,23 @@ off-the-shelf linter knows about:
     :mod:`repro.obs.logs`), no mutable default arguments, no bare or
     swallowed ``except``.
 ``concurrency``
-    In ``serve`` and ``cluster``, classes that own a
-    ``threading.Lock`` must write their shared attributes under it.
+    Interprocedural, over the project call graph
+    (:mod:`repro.check.callgraph`): in ``serve``/``cluster``/
+    ``summary``, every write to a lock-owning class's shared state
+    must be reached with the lock held on *every* call path from a
+    public entry point, and the project-wide lock-order graph must be
+    acyclic (an ABBA cycle is a potential deadlock).
 ``forksafety``
     No threads, locks or executors constructed at import time in
     modules reachable from ``repro.cluster``'s pre-fork import path,
-    and no wall-clock/per-process-entropy reads in worker-init code —
-    the constructs that break or diverge forked workers.
+    no wall-clock/per-process-entropy reads in worker-init code, and
+    no lock acquired on both the supervisor and worker sides of
+    ``fork()`` — the constructs that break or diverge forked workers.
+
+The static lock-order graph is validated by execution:
+:mod:`repro.check.sanitizer` (opt-in via ``REPRO_LOCK_SANITIZER=1``)
+instruments lock acquisition while the test suite runs and fails on
+any observed inversion of the derived order.
 
 Violations resolve against the committed ``check-baseline.json``:
 existing debt is inventoried there, anything new fails.  Inline

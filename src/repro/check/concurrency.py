@@ -1,164 +1,123 @@
-"""Concurrency heuristic: lock-owning classes must write under the lock.
+"""Interprocedural concurrency rule: guarded writes and lock ordering.
 
-Scope is the ``serve`` package — the one place where arbitrary HTTP
-client threads call into shared registries, monitors, caches and metric
-stores.  The heuristic:
+The original (PR 4) rule was *lexical*: a write had to sit inside
+``with self._lock:`` in the same method, which flagged ``_locked_*``
+helpers whose callers hold the lock and blessed public wrappers that
+reach a helper lock-free.  This version reasons over the project call
+graph (:mod:`repro.check.callgraph`) via :mod:`repro.check.lockmodel`:
 
-1. A class that creates a ``threading.Lock``/``RLock``/``Condition``
-   attribute in ``__init__`` (e.g. ``self._lock = threading.Lock()``)
-   is *lock-owning* — it has declared that its mutable state is shared.
-2. In every method of that class except ``__init__`` (construction
-   happens-before publication), an assignment or augmented assignment
-   to ``self.<attr>`` must sit lexically inside ``with self.<lock>:``.
+``unguarded-write``
+    In ``serve``/``cluster``/``summary``, a class that creates a
+    ``threading.Lock``/``RLock``/``Condition`` attribute in ``__init__``
+    must reach every write to its other ``self.`` attributes with a
+    lock held on **every** call path from a public entry point.
+    ``__init__`` and helpers reachable only from it are exempt
+    (construction happens-before publication).  Reads stay unchecked
+    (snapshot-read-then-serve is the documented pattern).
 
-Reads are not checked (snapshot-read-then-serve is the service's
-documented pattern), and benign races (e.g. the registry's reload
-rate-limit stamp) carry ``# repro: allow[concurrency]`` pragmas with
-their justification.  This is a heuristic, not an escape analysis — it
-catches the mutation pattern that has actually bitten this codebase,
-at zero runtime cost.
+``lock-order-cycle``
+    Project-wide, every acquisition records the set of locks that may
+    already be held (lexically, or inferred along call chains).  The
+    resulting order graph must be acyclic; an edge inside a strongly
+    connected component is a potential ABBA deadlock and is reported at
+    its acquisition site with a witness chain.
+
+Benign races (e.g. the registry's reload rate-limit stamp) carry
+``# repro: allow[concurrency]`` pragmas with their justification.  The
+runtime complement is :mod:`repro.check.sanitizer`, which validates the
+statically derived order graph against orders actually observed while
+the test suite runs.
 """
 
 from __future__ import annotations
 
 import ast
+from typing import Iterable
 
-from repro.check.rules import Rule, dotted_path, register, resolve_imports
+from repro.check.callgraph import CallGraph
+from repro.check.lockmodel import (
+    LOCK_CONSTRUCTORS,  # noqa: F401  (re-exported; the historical home)
+    LockModel,
+    UnguardedWrite,
+    _short,
+)
+from repro.check.rules import Rule, Violation, register
 from repro.check.walker import SourceFile
 
 #: Packages whose classes serve concurrent callers.
-SCOPED_PACKAGES = frozenset({"serve", "cluster"})
-
-#: threading constructors whose product guards shared state.
-LOCK_CONSTRUCTORS = frozenset(
-    {"threading.Lock", "threading.RLock", "threading.Condition"}
-)
+SCOPED_PACKAGES = frozenset({"serve", "cluster", "summary"})
 
 
 @register
 class ConcurrencyRule(Rule):
-    """Flags unguarded self-attribute writes in lock-owning classes."""
+    """Unguarded shared writes and lock-order cycles, interprocedurally."""
 
     name = "concurrency"
 
+    def __init__(self) -> None:
+        super().__init__()
+        self._by_path: dict[str, list[tuple[ast.AST, str, str]]] = {}
+
+    def run(self, sources: Iterable[SourceFile]) -> list[Violation]:
+        materialised = list(sources)
+        graph = CallGraph.build(materialised)
+        model = LockModel.build(materialised, graph)
+        self._by_path = {}
+        self._collect_unguarded(model)
+        self._collect_cycles(model)
+        return super().run(materialised)
+
     def check(self, source: SourceFile) -> None:
-        if source.package not in SCOPED_PACKAGES:
-            return
-        imports = resolve_imports(source.tree)
-        for node in ast.walk(source.tree):
-            if isinstance(node, ast.ClassDef):
-                self._check_class(source, node, imports)
+        for node, code, message in self._by_path.get(source.path, ()):
+            self.report(source, node, code, message)
 
-    def _check_class(
-        self, source: SourceFile, cls: ast.ClassDef, imports: dict[str, str]
-    ) -> None:
-        lock_attrs = _lock_attributes(cls, imports)
-        if not lock_attrs:
-            return
-        for stmt in cls.body:
-            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+    # -- finding collection --------------------------------------------
+
+    def _add(self, source: SourceFile, node: ast.AST, code: str, message: str) -> None:
+        self._by_path.setdefault(source.path, []).append((node, code, message))
+
+    def _collect_unguarded(self, model: LockModel) -> None:
+        for cls_qualname in sorted(model.by_class):
+            decl = model.decls[sorted(model.by_class[cls_qualname])[0]]
+            if decl.source.package not in SCOPED_PACKAGES:
                 continue
-            if stmt.name == "__init__":
-                continue  # construction happens-before publication
-            self._check_method(source, cls, stmt, lock_attrs)
-
-    def _check_method(
-        self,
-        source: SourceFile,
-        cls: ast.ClassDef,
-        method: ast.FunctionDef | ast.AsyncFunctionDef,
-        lock_attrs: frozenset[str],
-    ) -> None:
-        for body_stmt in method.body:
-            self._walk(source, cls, method, body_stmt, lock_attrs, guarded=False)
-
-    def _walk(
-        self,
-        source: SourceFile,
-        cls: ast.ClassDef,
-        method: ast.FunctionDef | ast.AsyncFunctionDef,
-        node: ast.stmt,
-        lock_attrs: frozenset[str],
-        guarded: bool,
-    ) -> None:
-        if isinstance(node, (ast.With, ast.AsyncWith)):
-            holds = guarded or any(
-                _is_self_attr(item.context_expr, lock_attrs)
-                for item in node.items
-            )
-            for child in node.body:
-                self._walk(source, cls, method, child, lock_attrs, holds)
-            return
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            return  # nested scopes run elsewhere; out of heuristic reach
-        if not guarded:
-            for target_name in _unguarded_self_writes(node, lock_attrs):
-                self.report(
-                    source,
-                    node,
+            for finding in model.unguarded_writes(cls_qualname):
+                self._add(
+                    finding.source,
+                    finding.node,
                     "unguarded-write",
-                    f"{cls.name}.{method.name} writes shared attribute "
-                    f"'self.{target_name}' outside "
-                    f"'with self.{sorted(lock_attrs)[0]}:'",
+                    _unguarded_message(model, finding),
                 )
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, ast.stmt):
-                self._walk(source, cls, method, child, lock_attrs, guarded)
+
+    def _collect_cycles(self, model: LockModel) -> None:
+        for (src, dst), cycle in sorted(model.cycle_edges().items()):
+            edge = model.order_edges[(src, dst)]
+            for (function, node), chain in zip(edge.sites, edge.chains):
+                info = model.graph.functions[function]
+                self._add(
+                    info.source,
+                    node,
+                    "lock-order-cycle",
+                    f"acquiring '{_short(dst)}' while '{_short(src)}' is held "
+                    f"({chain}) closes the lock-order cycle "
+                    f"{' -> '.join(_short(c) for c in cycle)} -> {_short(cycle[0])}: "
+                    "two threads taking these locks in opposite orders deadlock — "
+                    "impose one global order (or collapse to a single lock)",
+                )
 
 
-def _lock_attributes(cls: ast.ClassDef, imports: dict[str, str]) -> frozenset[str]:
-    """Names of self attributes bound to threading locks in __init__."""
-    attrs: set[str] = set()
-    for stmt in cls.body:
-        if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
-            for node in ast.walk(stmt):
-                if not isinstance(node, ast.Assign):
-                    continue
-                if not isinstance(node.value, ast.Call):
-                    continue
-                path = dotted_path(node.value.func, imports)
-                if path not in LOCK_CONSTRUCTORS:
-                    continue
-                for target in node.targets:
-                    if (
-                        isinstance(target, ast.Attribute)
-                        and isinstance(target.value, ast.Name)
-                        and target.value.id == "self"
-                    ):
-                        attrs.add(target.attr)
-    return frozenset(attrs)
-
-
-def _is_self_attr(expr: ast.expr, names: frozenset[str]) -> bool:
-    return (
-        isinstance(expr, ast.Attribute)
-        and isinstance(expr.value, ast.Name)
-        and expr.value.id == "self"
-        and expr.attr in names
+def _unguarded_message(model: LockModel, finding: UnguardedWrite) -> str:
+    cls_name = finding.cls.rsplit(".", 1)[1]
+    method = finding.function.rsplit(".", 1)[1]
+    lock_attr = sorted(
+        model.decls[ident].attr for ident in model.by_class[finding.cls]
+    )[0]
+    message = (
+        f"{cls_name}.{method} writes shared attribute "
+        f"'self.{finding.attr}' outside 'with self.{lock_attr}:'"
     )
-
-
-def _unguarded_self_writes(node: ast.stmt, lock_attrs: frozenset[str]) -> list[str]:
-    """self attributes written by one statement (ignoring the locks)."""
-    targets: list[ast.expr] = []
-    if isinstance(node, ast.Assign):
-        targets = list(node.targets)
-    elif isinstance(node, ast.AugAssign):
-        targets = [node.target]
-    elif isinstance(node, ast.AnnAssign) and node.value is not None:
-        targets = [node.target]
-    written: list[str] = []
-    for target in targets:
-        if isinstance(target, ast.Tuple):
-            candidates = list(target.elts)
-        else:
-            candidates = [target]
-        for candidate in candidates:
-            if (
-                isinstance(candidate, ast.Attribute)
-                and isinstance(candidate.value, ast.Name)
-                and candidate.value.id == "self"
-                and candidate.attr not in lock_attrs
-            ):
-                written.append(candidate.attr)
-    return written
+    if finding.witness and len(finding.witness) > 1:
+        message += (
+            f" (reachable lock-free via {' -> '.join(finding.witness)})"
+        )
+    return message

@@ -7,9 +7,12 @@ entropy from module-level ``random`` state, or seeds a generator from
 the OS.  This rule bans those constructs everywhere under ``repro``:
 
 * wall-clock value reads — ``time.time()`` / ``time.time_ns()``,
-  ``datetime.now()`` / ``utcnow()`` / ``today()``, ``date.today()``.
-  (``time.monotonic`` / ``perf_counter`` stay legal: interval timing is
-  inherently about the clock and never belongs in an artifact.)
+  ``datetime.now()`` / ``utcnow()`` / ``today()``, ``date.today()``,
+  and the integer-nanosecond ``time.monotonic_ns()`` /
+  ``time.perf_counter_ns()``: their values look like unique ordered IDs
+  and end up persisted as pseudo-timestamps, but differ per process.
+  (Float ``time.monotonic`` / ``perf_counter`` stay legal: interval
+  timing is inherently about the clock and never lands in an artifact.)
 * the process-global ``random`` module — any ``random.<fn>()`` call,
   plus unseeded ``random.Random()`` and ``random.SystemRandom``.
 * unseeded numpy entropy — ``np.random.default_rng()`` /
@@ -36,6 +39,8 @@ WALL_CLOCK_CALLS = frozenset(
     {
         "time.time",
         "time.time_ns",
+        "time.monotonic_ns",
+        "time.perf_counter_ns",
         "datetime.datetime.now",
         "datetime.datetime.utcnow",
         "datetime.datetime.today",

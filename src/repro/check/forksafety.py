@@ -8,7 +8,7 @@ first child that touches it.  Worker warmup code has the complementary
 hazard: wall-clock or OS-entropy reads there make freshly restarted
 workers observably different from their siblings.
 
-Two checks:
+Three checks:
 
 * ``prefork-thread`` — a ``threading`` primitive or executor
   constructed at *import time* (module body or class body, not inside a
@@ -20,6 +20,14 @@ Two checks:
 * ``worker-init-clock`` / ``worker-init-rng`` — wall-clock reads and
   unseeded/global RNG use inside worker-initialisation functions of the
   ``cluster`` package itself (``worker_main``, ``warmup*``, ``*_init``).
+* ``fork-shared-lock`` — the cross-process hazard: a lock acquired by
+  code reachable from the supervisor's call paths **and** from
+  ``worker_main``'s.  After ``fork()`` the two sides hold independent
+  copies of the lock, so it cannot actually serialise anything between
+  them — worse, a copy forked while held wedges the child.  Reachability
+  comes from the project call graph (:mod:`repro.check.callgraph`) with
+  the supervisor's ``worker_main`` call severed — that edge *is* the
+  fork boundary.  The finding is reported at the lock's creation site.
 
 Genuinely-benign sites (e.g. ``repro.obs``'s module-level registry
 locks, which are only ever held for microseconds around a dict write)
@@ -31,12 +39,20 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
+from repro.check.callgraph import CallGraph
 from repro.check.determinism import SEEDABLE_CONSTRUCTORS, WALL_CLOCK_CALLS
+from repro.check.lockmodel import LockModel, _short
 from repro.check.rules import Rule, Violation, dotted_path, register, resolve_imports
 from repro.check.walker import SourceFile, type_checking_spans
 
 #: The package whose import closure is the pre-fork path.
 PREFORK_ROOT = "repro.cluster"
+
+#: The module whose functions run on the supervisor side of fork().
+SUPERVISOR_MODULE = "repro.cluster.supervisor"
+
+#: The fork boundary: the one call that crosses into the child.
+WORKER_ENTRY = "repro.cluster.worker.worker_main"
 
 #: Constructors whose product must not cross a fork boundary.
 THREAD_CONSTRUCTORS = frozenset(
@@ -155,10 +171,12 @@ class ForkSafetyRule(Rule):
     def __init__(self) -> None:
         super().__init__()
         self._reachable: set[str] = set()
+        self._shared_locks: dict[str, list[tuple[ast.AST, str]]] = {}
 
     def run(self, sources: Iterable[SourceFile]) -> list[Violation]:
         materialised = list(sources)
         self._reachable = reachable_modules(materialised)
+        self._shared_locks = _fork_shared_locks(materialised)
         return super().run(materialised)
 
     def check(self, source: SourceFile) -> None:
@@ -167,6 +185,8 @@ class ForkSafetyRule(Rule):
             self._check_import_time(source, imports)
         if source.package == "cluster":
             self._check_worker_init(source, imports)
+        for node, message in self._shared_locks.get(source.path, ()):
+            self.report(source, node, "fork-shared-lock", message)
 
     def _check_import_time(self, source: SourceFile, imports: dict[str, str]) -> None:
         for call in _import_time_calls(source.tree):
@@ -217,3 +237,52 @@ class ForkSafetyRule(Rule):
                         "per-process entropy: shards would diverge on "
                         "restart — derive seeds from the shard index",
                     )
+
+
+def _fork_shared_locks(
+    sources: list[SourceFile],
+) -> dict[str, list[tuple[ast.AST, str]]]:
+    """fork-shared-lock findings, grouped by the declaring file's path.
+
+    A lock is cross-process-hazardous when at least one of its
+    acquisition sites is reachable from the supervisor's functions and
+    at least one from ``worker_main`` — computed on the call graph with
+    the supervisor's call into :data:`WORKER_ENTRY` severed, because
+    that edge is exactly where ``fork()`` splits the address space.
+    """
+    graph = CallGraph.build(sources)
+    model = LockModel.build(sources, graph)
+    supervisor_seeds = [
+        name
+        for name, info in graph.functions.items()
+        if info.module == SUPERVISOR_MODULE
+    ]
+    if not supervisor_seeds or WORKER_ENTRY not in graph.functions:
+        return {}
+    supervisor_side = graph.reachable_from(
+        supervisor_seeds, skip=frozenset({WORKER_ENTRY})
+    )
+    worker_side = graph.reachable_from([WORKER_ENTRY])
+    acquirers: dict[str, set[str]] = {}
+    for acq in model.acquisitions:
+        acquirers.setdefault(acq.lock, set()).add(acq.function)
+    findings: dict[str, list[tuple[ast.AST, str]]] = {}
+    for ident in sorted(acquirers):
+        functions = acquirers[ident]
+        sup = sorted(functions & supervisor_side)
+        wrk = sorted(functions & worker_side)
+        if not sup or not wrk:
+            continue
+        decl = model.decls[ident]
+        findings.setdefault(decl.source.path, []).append(
+            (
+                decl.node,
+                f"lock '{ident}' is acquired on both sides of fork(): "
+                f"supervisor path via {_short(sup[0])}, worker path via "
+                f"{_short(wrk[0])} — after the fork each process holds an "
+                "independent copy, so it serialises nothing between them "
+                "(and a copy forked while held wedges the child); keep the "
+                "state single-sided or move it into the artifact store",
+            )
+        )
+    return findings

@@ -330,7 +330,8 @@ def _build_parser() -> argparse.ArgumentParser:
     check = sub.add_parser(
         "check",
         help="project-aware static analysis (layering, determinism, "
-        "hygiene, concurrency) with a ratcheting baseline",
+        "hygiene, interprocedural concurrency + lock ordering, fork "
+        "safety) with a ratcheting baseline",
     )
     check.add_argument(
         "--format", choices=("text", "json"), default="text",

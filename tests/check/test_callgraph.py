@@ -1,0 +1,141 @@
+"""Tests for the project-wide call graph."""
+
+from repro.check.callgraph import CallGraph
+from repro.check.walker import SourceFile
+
+
+def build(*modules: tuple[str, str]) -> CallGraph:
+    return CallGraph.build(
+        [SourceFile.from_text(text, module=module) for module, text in modules]
+    )
+
+
+def edge_pairs(graph: CallGraph) -> set[tuple[str, str]]:
+    return {(site.caller, site.callee) for site in graph.sites}
+
+
+class TestResolution:
+    def test_self_method_resolves_within_class(self):
+        graph = build(
+            (
+                "repro.serve.app",
+                "class App:\n"
+                "    def handle(self):\n"
+                "        self._validate()\n"
+                "    def _validate(self):\n"
+                "        pass\n",
+            )
+        )
+        assert (
+            "repro.serve.app.App.handle",
+            "repro.serve.app.App._validate",
+        ) in edge_pairs(graph)
+
+    def test_bare_name_resolves_to_module_function(self):
+        graph = build(
+            (
+                "repro.core.util",
+                "def outer():\n"
+                "    return inner()\n"
+                "def inner():\n"
+                "    return 1\n",
+            )
+        )
+        assert ("repro.core.util.outer", "repro.core.util.inner") in edge_pairs(graph)
+
+    def test_from_import_resolves_cross_module(self):
+        graph = build(
+            ("repro.core.util", "def helper():\n    return 1\n"),
+            (
+                "repro.serve.app",
+                "from repro.core.util import helper\n"
+                "def handle():\n"
+                "    return helper()\n",
+            ),
+        )
+        assert ("repro.serve.app.handle", "repro.core.util.helper") in edge_pairs(graph)
+
+    def test_reexport_chased_to_definition(self):
+        graph = build(
+            ("repro.obs.tracer", "def counter(name):\n    pass\n"),
+            ("repro.obs", "from repro.obs.tracer import counter\n"),
+            (
+                "repro.serve.app",
+                "from repro import obs\n"
+                "def handle():\n"
+                "    obs.counter('hits')\n",
+            ),
+        )
+        assert ("repro.serve.app.handle", "repro.obs.tracer.counter") in edge_pairs(
+            graph
+        )
+
+    def test_instantiation_lands_on_init(self):
+        graph = build(
+            (
+                "repro.serve.cache",
+                "class Cache:\n"
+                "    def __init__(self):\n"
+                "        self._data = {}\n",
+            ),
+            (
+                "repro.serve.app",
+                "from repro.serve.cache import Cache\n"
+                "def make():\n"
+                "    return Cache()\n",
+            ),
+        )
+        assert (
+            "repro.serve.app.make",
+            "repro.serve.cache.Cache.__init__",
+        ) in edge_pairs(graph)
+
+    def test_unresolvable_attribute_call_makes_no_edge(self):
+        graph = build(
+            (
+                "repro.serve.app",
+                "def handle(monitor):\n"
+                "    monitor.observe()\n",
+            )
+        )
+        assert edge_pairs(graph) == set()
+
+    def test_nested_closure_calls_attributed_to_enclosing_def(self):
+        graph = build(
+            (
+                "repro.core.util",
+                "def leaf():\n"
+                "    pass\n"
+                "def outer():\n"
+                "    def inner():\n"
+                "        leaf()\n"
+                "    return inner\n",
+            )
+        )
+        assert ("repro.core.util.outer", "repro.core.util.leaf") in edge_pairs(graph)
+
+
+class TestReachability:
+    def test_reachable_from_follows_chains(self):
+        graph = build(
+            (
+                "repro.core.util",
+                "def a():\n    b()\ndef b():\n    c()\ndef c():\n    pass\n"
+                "def island():\n    pass\n",
+            )
+        )
+        reached = graph.reachable_from(["repro.core.util.a"])
+        assert "repro.core.util.c" in reached
+        assert "repro.core.util.island" not in reached
+
+    def test_skip_severs_the_edge(self):
+        graph = build(
+            (
+                "repro.core.util",
+                "def a():\n    b()\ndef b():\n    c()\ndef c():\n    pass\n",
+            )
+        )
+        reached = graph.reachable_from(
+            ["repro.core.util.a"], skip=frozenset({"repro.core.util.b"})
+        )
+        assert reached == {"repro.core.util.a"}

@@ -1,0 +1,184 @@
+"""Tests for the interprocedural lock model (guards and ordering)."""
+
+from repro.check.callgraph import CallGraph
+from repro.check.lockmodel import LockModel
+from repro.check.walker import SourceFile
+
+
+def build(*modules: tuple[str, str]) -> LockModel:
+    sources = [SourceFile.from_text(text, module=module) for module, text in modules]
+    return LockModel.build(sources, CallGraph.build(sources))
+
+
+ABBA = (
+    "repro.serve.pair",
+    "import threading\n"
+    "class Pair:\n"
+    "    def __init__(self):\n"
+    "        self._a = threading.Lock()\n"
+    "        self._b = threading.Lock()\n"
+    "    def forward(self):\n"
+    "        with self._a:\n"
+    "            with self._b:\n"
+    "                pass\n"
+    "    def backward(self):\n"
+    "        with self._b:\n"
+    "            with self._a:\n"
+    "                pass\n",
+)
+
+
+class TestDeclarations:
+    def test_class_and_module_lock_idents(self):
+        model = build(
+            (
+                "repro.serve.cache",
+                "import threading\n"
+                "_module_lock = threading.Lock()\n"
+                "class Cache:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.RLock()\n",
+            )
+        )
+        assert set(model.decls) == {
+            "repro.serve.cache._module_lock",
+            "repro.serve.cache.Cache._lock",
+        }
+
+
+class TestLockOrder:
+    def test_abba_cycle_detected(self):
+        model = build(ABBA)
+        cycles = model.order_cycles()
+        assert cycles == [
+            ("repro.serve.pair.Pair._a", "repro.serve.pair.Pair._b")
+        ]
+        assert set(model.cycle_edges()) == {
+            ("repro.serve.pair.Pair._a", "repro.serve.pair.Pair._b"),
+            ("repro.serve.pair.Pair._b", "repro.serve.pair.Pair._a"),
+        }
+
+    def test_consistent_order_is_acyclic(self):
+        model = build(
+            (
+                "repro.serve.pair",
+                "import threading\n"
+                "class Pair:\n"
+                "    def __init__(self):\n"
+                "        self._a = threading.Lock()\n"
+                "        self._b = threading.Lock()\n"
+                "    def one(self):\n"
+                "        with self._a:\n"
+                "            with self._b:\n"
+                "                pass\n"
+                "    def two(self):\n"
+                "        with self._a:\n"
+                "            with self._b:\n"
+                "                pass\n",
+            )
+        )
+        assert model.order_edges
+        assert model.order_cycles() == []
+
+    def test_edge_inferred_across_call_boundary(self):
+        model = build(
+            (
+                "repro.obs.tracer",
+                "import threading\n"
+                "_counter_lock = threading.Lock()\n"
+                "def counter(name):\n"
+                "    with _counter_lock:\n"
+                "        pass\n",
+            ),
+            (
+                "repro.serve.metrics",
+                "import threading\n"
+                "from repro.obs.tracer import counter\n"
+                "class Registry:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "    def snapshot(self):\n"
+                "        with self._lock:\n"
+                "            counter('snapshots')\n",
+            ),
+        )
+        key = (
+            "repro.serve.metrics.Registry._lock",
+            "repro.obs.tracer._counter_lock",
+        )
+        assert key in model.order_edges
+        # The witness names the chain that carried the held lock here.
+        assert "Registry.snapshot" in model.order_edges[key].chains[0]
+
+    def test_reentrant_same_lock_is_not_an_edge(self):
+        model = build(
+            (
+                "repro.serve.cache",
+                "import threading\n"
+                "class Cache:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.RLock()\n"
+                "    def get(self):\n"
+                "        with self._lock:\n"
+                "            with self._lock:\n"
+                "                pass\n",
+            )
+        )
+        assert model.order_edges == {}
+
+
+class TestGuardInference:
+    def test_helper_guarded_write_not_flagged(self):
+        model = build(
+            (
+                "repro.summary.store",
+                "import threading\n"
+                "class Store:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._rows = []\n"
+                "    def append(self, row):\n"
+                "        with self._lock:\n"
+                "            self._ingest_one(row)\n"
+                "    def _ingest_one(self, row):\n"
+                "        self._rows = self._rows + [row]\n",
+            )
+        )
+        assert model.unguarded_writes("repro.summary.store.Store") == []
+
+    def test_unguarded_public_wrapper_flagged_with_witness(self):
+        model = build(
+            (
+                "repro.summary.store",
+                "import threading\n"
+                "class Store:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._rows = []\n"
+                "    def append(self, row):\n"
+                "        with self._lock:\n"
+                "            self._ingest_one(row)\n"
+                "    def append_fast(self, row):\n"
+                "        self._ingest_one(row)\n"
+                "    def _ingest_one(self, row):\n"
+                "        self._rows = self._rows + [row]\n",
+            )
+        )
+        found = model.unguarded_writes("repro.summary.store.Store")
+        assert [f.attr for f in found] == ["_rows"]
+        assert found[0].witness == ("Store.append_fast", "Store._ingest_one")
+
+    def test_init_only_helper_exempt(self):
+        model = build(
+            (
+                "repro.serve.cache",
+                "import threading\n"
+                "class Cache:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._configure()\n"
+                "    def _configure(self):\n"
+                "        self._capacity = 128\n",
+            )
+        )
+        assert model.unguarded_writes("repro.serve.cache.Cache") == []

@@ -4,14 +4,60 @@
 structural tests; ``medium_corpus`` (15,000 users) is session-scoped and
 used by the qualitative experiment tests, which need enough flow volume
 for stable correlations.
+
+Setting ``REPRO_LOCK_SANITIZER=1`` additionally installs the lock-order
+sanitizer (:mod:`repro.check.sanitizer`) for the whole run: every lock
+the ``repro`` packages create is instrumented, observed acquisition
+orders are checked against the statically derived order graph at
+session end, and the observations land in ``sanitizer-report.json``.
+A contradiction (runtime order opposite to the static order) fails the
+run even if every test passed.
 """
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 
-from repro.synth import SynthConfig, generate_corpus
-from repro.synth.generator import GenerationResult
+# Installed at conftest *import* time, not pytest_configure: this root
+# conftest loads before the per-directory ones, whose imports pull in
+# repro modules that create locks at module level — those must already
+# see the patched constructors.  repro.check.sanitizer itself imports
+# only the stdlib, so installing here instruments everything.
+from repro.check.sanitizer import install_from_env
+
+_SANITIZER = install_from_env(os.environ)
+
+from repro.synth import SynthConfig, generate_corpus  # noqa: E402
+from repro.synth.generator import GenerationResult  # noqa: E402
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    global _SANITIZER
+    if _SANITIZER is None:
+        return
+    sanitizer, _SANITIZER = _SANITIZER, None
+    sanitizer.uninstall()
+    root = Path(__file__).resolve().parent.parent
+    sanitizer.dump(root / "sanitizer-report.json")
+    from repro.check.sanitizer import static_lock_graph
+
+    edges, locks = static_lock_graph(root / "src" / "repro")
+    problems = sanitizer.verify_against(edges, locks)
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    lines = [
+        f"lock sanitizer: {len(sanitizer.observed)} observed edge(s), "
+        f"{len(sanitizer.locks_seen)} lock(s) watched"
+    ]
+    lines.extend(problems["contradictions"])
+    lines.extend(f"(unmodelled) {item}" for item in problems["unmodelled"])
+    if reporter is not None:
+        for line in lines:
+            reporter.write_line(line)
+    if problems["contradictions"]:
+        session.exitstatus = 1
 
 
 @pytest.fixture(scope="session")
