@@ -1,0 +1,41 @@
+"""Shared setup helpers for the ablation benchmarks.
+
+Every ``bench_ablation_*`` script used to open with the same copy-pasted
+preamble (pull a scale's flows off the session context, materialise the
+pair set, fit a model); the helpers here are that preamble, written
+once.  The epidemic-family ablations go further and run as thin clients
+of :mod:`repro.scenario` — the scenario library owns their setup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.gazetteer import Scale
+from repro.scenario import evaluate_scenario, named_scenario
+
+
+def scale_pairs(bench_context, scale: Scale):
+    """The classic two-line preamble: ``(flows, pairs)`` for one scale.
+
+    Both come from the session context's caches, so repeated calls
+    across benchmark files cost nothing after the first.
+    """
+    flows = bench_context.flows(scale)
+    return flows, flows.pairs()
+
+
+def evaluate_named(bench_context, *names: str):
+    """Evaluate named library scenarios against the benchmark corpus."""
+    return [
+        evaluate_scenario(named_scenario(name), bench_context) for name in names
+    ]
+
+
+def ranked_arrivals(result, limit: int = 8) -> str:
+    """``City@NNd`` ranking from a scenario result's arrival times."""
+    arrivals = np.asarray(result.outputs["arrival_times"], dtype=np.float64)
+    order = np.argsort(arrivals)
+    return ", ".join(
+        f"{result.patch_names[i]}@{arrivals[i]:.0f}d" for i in order[:limit]
+    )

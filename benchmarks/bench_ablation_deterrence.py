@@ -8,6 +8,7 @@ distance decades with one length scale).
 """
 
 import pytest
+from _common import scale_pairs
 
 from repro.data.gazetteer import Scale
 from repro.models import GravityExpModel, GravityModel, evaluate_fitted
@@ -16,7 +17,7 @@ from repro.models import GravityExpModel, GravityModel, evaluate_fitted
 @pytest.mark.parametrize("scale", list(Scale), ids=lambda s: s.value)
 def test_deterrence_comparison(benchmark, bench_context, scale):
     """Time fitting both kernels at one scale and print the comparison."""
-    pairs = bench_context.flows(scale).pairs()
+    _, pairs = scale_pairs(bench_context, scale)
 
     def fit_both():
         return (

@@ -5,41 +5,25 @@ mobility.  This ablation couples the national SEIR metapopulation with
 each fitted model and prints the per-city outbreak arrival times, making
 the model choice's downstream consequence concrete: the two couplings
 disagree most for the cities Radiation mis-ranks.
+
+A thin runner over the scenario library: the ``baseline`` and
+``baseline-radiation`` named scenarios are this ablation's two arms, and
+``tests/scenario/test_equivalence.py`` proves them bit-identical to this
+script's original inline computation.
 """
 
-import numpy as np
 import pytest
+from _common import evaluate_named, ranked_arrivals
 
-from repro.data.gazetteer import Scale, areas_for_scale
-from repro.epidemic import network_from_model, simulate_seir
-from repro.epidemic.seir import SEIRParams
-from repro.models import GravityModel, RadiationModel
-
-MODELS = ("gravity2", "radiation")
+SCENARIOS = ("baseline", "baseline-radiation")
 
 
-def _fit(bench_context, kind):
-    flows = bench_context.flows(Scale.NATIONAL)
-    pairs = flows.pairs()
-    if kind == "gravity2":
-        return GravityModel(2).fit(pairs)
-    return RadiationModel.from_flows(flows).fit(pairs)
-
-
-@pytest.mark.parametrize("kind", MODELS)
-def test_epidemic_coupling(benchmark, bench_context, kind):
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_epidemic_coupling(benchmark, bench_context, name):
     """Time one deterministic SEIR run on a model-coupled network."""
-    fitted = _fit(bench_context, kind)
-    network = network_from_model(fitted, areas_for_scale(Scale.NATIONAL))
-    params = SEIRParams(beta=0.5, sigma=0.25, gamma=0.2)  # R0 = 2.5
 
     def run():
-        return simulate_seir(network, params, {"Sydney": 10.0}, t_max_days=365)
+        return evaluate_named(bench_context, name)[0]
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
-    arrivals = result.arrival_times(threshold=10.0)
-    order = np.argsort(arrivals)
-    ranked = ", ".join(
-        f"{network.names[i]}@{arrivals[i]:.0f}d" for i in order[:8]
-    )
-    print(f"\nA5 {kind}: first cities reached: {ranked}")
+    print(f"\nA5 {name}: first cities reached: {ranked_arrivals(result)}")

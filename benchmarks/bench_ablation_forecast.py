@@ -3,23 +3,27 @@
 Runs the sense → infer → forecast → score experiment on the benchmark
 corpus from two different seed cities, timing the full loop and printing
 the forecast scorecards.
+
+A thin runner over the scenario library: the ``forecast-brisbane`` and
+``forecast-darwin`` named scenarios are this ablation's two arms, and
+``tests/scenario/test_equivalence.py`` proves them bit-identical to the
+script's original ``run_forecast_experiment`` call.
 """
 
 import pytest
+from _common import evaluate_named
 
-from repro.experiments.epidemic_forecast import run_forecast_experiment
-
-SEED_CITIES = ("Brisbane", "Darwin")
+SCENARIOS = ("forecast-brisbane", "forecast-darwin")
 
 
-@pytest.mark.parametrize("seed_city", SEED_CITIES)
-def test_forecast_loop(benchmark, bench_context, seed_city):
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_forecast_loop(benchmark, bench_context, name):
     """Time one full forecast loop and print its scorecard."""
 
     def run():
-        return run_forecast_experiment(bench_context, seed_city=seed_city)
+        return evaluate_named(bench_context, name)[0]
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     print()
     print(result.render())
-    assert result.skill.r > 0.4
+    assert result.outputs["forecast_skill_r"] > 0.4

@@ -8,6 +8,7 @@ tweets themselves — at several raster resolutions.
 """
 
 import pytest
+from _common import scale_pairs
 
 from repro.data.gazetteer import Scale
 from repro.models import GravityModel, RadiationModel, evaluate_fitted
@@ -22,8 +23,7 @@ RESOLUTIONS_KM = (100.0, 50.0, 25.0)
 
 def test_point_radiation_baseline(benchmark, bench_context):
     """The paper's Eq 3 with the 20-point s — the baseline."""
-    flows = bench_context.flows(Scale.NATIONAL)
-    pairs = flows.pairs()
+    flows, pairs = scale_pairs(bench_context, Scale.NATIONAL)
 
     def fit():
         return RadiationModel.from_flows(flows).fit(pairs)
@@ -40,8 +40,7 @@ def test_point_radiation_baseline(benchmark, bench_context):
 @pytest.mark.parametrize("cell_km", RESOLUTIONS_KM)
 def test_highres_radiation_true_population(benchmark, bench_result, bench_context, cell_km):
     """Raster s from the true population at one resolution."""
-    flows = bench_context.flows(Scale.NATIONAL)
-    pairs = flows.pairs()
+    flows, pairs = scale_pairs(bench_context, Scale.NATIONAL)
     grid = population_grid_from_world(bench_result.world, cell_km=cell_km)
 
     def fit():
@@ -57,8 +56,7 @@ def test_highres_radiation_true_population(benchmark, bench_result, bench_contex
 
 def test_highres_radiation_tweet_population(benchmark, bench_context):
     """Raster s estimated from tweet density (self-bootstrapped)."""
-    flows = bench_context.flows(Scale.NATIONAL)
-    pairs = flows.pairs()
+    flows, pairs = scale_pairs(bench_context, Scale.NATIONAL)
     total = flows.populations().sum()
 
     def pipeline():

@@ -4,46 +4,38 @@ The actionable endpoint of the whole pipeline: with doses for 15% of
 the population, where should they go?  Compares population-proportional,
 mobility-centrality and seed-ring allocations against no intervention,
 all on the gravity network fitted from the benchmark corpus.
+
+A thin runner over the scenario library: the four ``vaccination-*``
+named scenarios are this ablation's four rows, and
+``tests/scenario/test_equivalence.py`` proves them bit-identical to the
+script's original ``evaluate_vaccination`` call.
 """
 
-import numpy as np
+from _common import evaluate_named
 
-from repro.data.gazetteer import Scale, areas_for_scale
-from repro.epidemic import network_from_model
-from repro.epidemic.interventions import (
-    allocate_by_centrality,
-    allocate_by_population,
-    allocate_seed_ring,
-    evaluate_vaccination,
-    render_outcomes,
+SCENARIOS = (
+    "vaccination-none",
+    "vaccination-population",
+    "vaccination-centrality",
+    "vaccination-ring",
 )
-from repro.epidemic.seir import SEIRParams
-from repro.models import GravityModel
-
-SEED_CITY = "Darwin"
-DOSE_FRACTION = 0.15
 
 
 def test_vaccination_strategies(benchmark, bench_context):
     """Time the four-strategy comparison and print the scoreboard."""
-    pairs = bench_context.flows(Scale.NATIONAL).pairs()
-    network = network_from_model(
-        GravityModel(2).fit(pairs), areas_for_scale(Scale.NATIONAL)
-    )
-    total_doses = DOSE_FRACTION * network.populations.sum()
-    allocations = {
-        "none": np.zeros(network.n_patches),
-        "by_population": allocate_by_population(network, total_doses),
-        "by_centrality": allocate_by_centrality(network, total_doses),
-        "seed_ring": allocate_seed_ring(network, total_doses, SEED_CITY),
-    }
-    params = SEIRParams(beta=0.5, gamma=0.2)
 
     def run():
-        return evaluate_vaccination(network, params, SEED_CITY, allocations)
+        return evaluate_named(bench_context, *SCENARIOS)
 
-    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
-    print()
-    print(render_outcomes(outcomes))
-    by_name = {o.strategy: o for o in outcomes}
-    assert by_name["by_population"].total_infected < by_name["none"].total_infected
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nVaccination strategy comparison (best first):")
+    for result in sorted(results, key=lambda r: r.outputs["total_infected"]):
+        print(
+            f"  {result.name:<26s}{result.outputs['total_infected']:>14,.0f}"
+            f"{result.outputs['attack_rate']:>12.1%}"
+        )
+    by_name = {result.name: result for result in results}
+    assert (
+        by_name["vaccination-population"].outputs["total_infected"]
+        < by_name["vaccination-none"].outputs["total_infected"]
+    )

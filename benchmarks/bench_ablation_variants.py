@@ -9,6 +9,7 @@ Prints an extended Table II and the AIC ranking.
 
 import numpy as np
 import pytest
+from _common import scale_pairs
 
 from repro.data.gazetteer import Scale
 from repro.models import (
@@ -39,8 +40,7 @@ def _fitters(flows):
 @pytest.mark.parametrize("scale", list(Scale), ids=lambda s: s.value)
 def test_extended_shootout(benchmark, bench_context, scale):
     """Time fitting all seven models at one scale; print the scoreboard."""
-    flows = bench_context.flows(scale)
-    pairs = flows.pairs()
+    flows, pairs = scale_pairs(bench_context, scale)
 
     def fit_all():
         return [fitter.fit(pairs) for fitter in _fitters(flows)]
@@ -63,8 +63,7 @@ def test_extended_shootout(benchmark, bench_context, scale):
 
 def test_cross_validated_headline(benchmark, bench_context):
     """5-fold CV at national scale: gravity must beat radiation held-out."""
-    flows = bench_context.flows(Scale.NATIONAL)
-    pairs = flows.pairs()
+    flows, pairs = scale_pairs(bench_context, Scale.NATIONAL)
 
     def cross_validate():
         gravity = k_fold_cross_validate(

@@ -13,7 +13,16 @@ default) through two labelling paths:
 
 Emits a JSON summary (stdout or ``--out``), e.g.::
 
-    python benchmarks/bench_core.py --users 10000 --out p5.json
+    python benchmarks/bench_core.py --users 10000 --out BENCH_core.json
+
+Numbers are **machine-normalized** exactly like ``bench_check.py``: a
+fixed single-threaded hashing calibration loop is timed first and every
+measurement is also reported as a ratio against it, so the committed
+``BENCH_core.json`` stays comparable across hosts.  ``--check-against``
+turns that committed baseline into a regression gate: the normalized
+micro-batched labelling time may not exceed the baseline's by more than
+``--slack`` (the second benchmark on the ROADMAP's perf-trajectory
+ratchet, after ``bench_check.py``).
 
 The script asserts the acceptance guarantees while measuring: both
 paths produce identical labels over the whole replay, and the
@@ -23,9 +32,11 @@ micro-batched path is at least :data:`MIN_SPEEDUP`× faster.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -42,6 +53,22 @@ DEFAULT_SEED = 20150413
 #: Acceptance floor: micro-batched labelling must beat the legacy
 #: per-tweet scalar path by at least this factor.
 MIN_SPEEDUP = 5.0
+
+#: Calibration loop: single-threaded blake2b over this many blocks.
+CALIBRATION_BLOCKS = 50_000
+
+#: Default headroom multiplier for the --check-against gate.
+DEFAULT_SLACK = 2.0
+
+
+def calibrate() -> float:
+    """Seconds for a fixed single-threaded hash loop on this machine."""
+    payload = b"x" * 4096
+    start = time.perf_counter()
+    digest = b""
+    for _ in range(CALIBRATION_BLOCKS):
+        digest = hashlib.blake2b(payload + digest, digest_size=16).digest()
+    return time.perf_counter() - start
 
 
 def _legacy_scalar_label(world: World, lat: float, lon: float) -> int:
@@ -62,6 +89,7 @@ def _legacy_scalar_label(world: World, lat: float, lon: float) -> int:
 
 def run_benchmark(users: int, seed: int, batch_size: int) -> dict:
     """Scalar-vs-micro-batched replay timings plus agreement counters."""
+    calibration_seconds = calibrate()
     world = World.from_scale(Scale.NATIONAL)
     corpus = generate_corpus(SynthConfig(n_users=users, seed=seed)).corpus
     order = np.argsort(corpus.timestamps, kind="stable")
@@ -91,16 +119,25 @@ def run_benchmark(users: int, seed: int, batch_size: int) -> dict:
     )
 
     return {
-        "users": users,
-        "seed": seed,
-        "replay_tweets": n,
-        "areas": world.n_areas,
-        "radius_km": world.radius_km,
-        "batch_size": batch_size,
-        "scalar_seconds": round(scalar_seconds, 3),
-        "micro_batched_seconds": round(micro_seconds, 3),
-        "scalar_tweets_per_sec": round(n / max(scalar_seconds, 1e-9)),
-        "micro_batched_tweets_per_sec": round(n / max(micro_seconds, 1e-9)),
+        "machine": {"calibration_seconds": round(calibration_seconds, 4)},
+        "workload": {
+            "users": users,
+            "seed": seed,
+            "replay_tweets": n,
+            "areas": world.n_areas,
+            "radius_km": world.radius_km,
+            "batch_size": batch_size,
+        },
+        "scalar": {
+            "seconds": round(scalar_seconds, 3),
+            "normalized": round(scalar_seconds / calibration_seconds, 3),
+            "tweets_per_sec": round(n / max(scalar_seconds, 1e-9)),
+        },
+        "micro_batched": {
+            "seconds": round(micro_seconds, 3),
+            "normalized": round(micro_seconds / calibration_seconds, 3),
+            "tweets_per_sec": round(n / max(micro_seconds, 1e-9)),
+        },
         "speedup": round(speedup, 1),
         "label_mismatches": mismatches,
         "labelled_fraction": round(
@@ -109,15 +146,48 @@ def run_benchmark(users: int, seed: int, batch_size: int) -> dict:
     }
 
 
+def enforce_gate(summary: dict, baseline_path: Path, slack: float) -> None:
+    """Fail if the normalized micro-batched time regressed past the slack."""
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert summary["workload"]["replay_tweets"] == baseline["workload"]["replay_tweets"], (
+        "baseline and measurement replay different workloads "
+        f"({baseline['workload']['replay_tweets']} vs "
+        f"{summary['workload']['replay_tweets']} tweets) — rerun with the "
+        "baseline's --users/--seed"
+    )
+    allowed = baseline["micro_batched"]["normalized"] * slack
+    measured = summary["micro_batched"]["normalized"]
+    summary["gate"] = {
+        "baseline_normalized": baseline["micro_batched"]["normalized"],
+        "measured_normalized": measured,
+        "slack": slack,
+        "allowed": round(allowed, 3),
+    }
+    assert measured <= allowed, (
+        f"normalized micro-batched labelling time {measured} exceeds the "
+        f"committed baseline {baseline['micro_batched']['normalized']} x "
+        f"{slack} slack ({allowed:.3f}) — the kernel layer regressed"
+    )
+    summary["gate"]["status"] = "passed"
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--users", type=int, default=DEFAULT_USERS)
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--batch-size", type=int, default=DEFAULT_MICRO_BATCH)
     parser.add_argument("--out", help="write the JSON summary here (else stdout)")
+    parser.add_argument(
+        "--check-against",
+        type=Path,
+        help="committed BENCH_core.json to gate the normalized time against",
+    )
+    parser.add_argument("--slack", type=float, default=DEFAULT_SLACK)
     args = parser.parse_args(argv)
 
     summary = run_benchmark(args.users, args.seed, args.batch_size)
+    if args.check_against:
+        enforce_gate(summary, args.check_against, args.slack)
 
     text = json.dumps(summary, indent=2)
     if args.out:

@@ -17,6 +17,8 @@ bottom, orchestration above them, service/tooling on top::
       experiments                    (L5: paper artefacts)
           |
        pipeline                      (L6: cached DAG orchestration)
+        /   |
+  scenario  |                        (L6.2: declarative counterfactuals)
           |
        summary                       (L6.5: time-tiered summary store)
           |
@@ -72,6 +74,12 @@ LAYER_DAG: dict[str, frozenset[str]] = {
         {
             "geo", "stats", "obs", "data", "core", "synth", "extraction",
             "models", "epidemic", "stream", "viz", "experiments",
+        }
+    ),
+    "scenario": frozenset(
+        {
+            "geo", "stats", "obs", "data", "core", "synth", "extraction",
+            "models", "epidemic", "stream", "viz", "experiments", "pipeline",
         }
     ),
     "summary": frozenset(

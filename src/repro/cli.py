@@ -38,7 +38,7 @@ from repro.data.corpus import TweetCorpus
 from repro.data.gazetteer import Scale
 from repro.data.io import DataFormatError, read_tweets_csv, write_tweets_csv
 from repro.geo.gazetteer import GazetteerSpecError
-from repro.epidemic import arrival_times, network_from_model
+from repro.epidemic import arrival_times
 from repro.experiments import (
     ExperimentContext,
     run_all_experiments,
@@ -278,6 +278,44 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     epi.add_argument("--runs", type=int, default=20, help="stochastic runs")
     epi.add_argument("--r0", type=float, default=2.5, help="basic reproduction number")
+
+    scen = sub.add_parser(
+        "scenario", help="declarative counterfactual scenarios on the pipeline DAG"
+    )
+    scen_sub = scen.add_subparsers(dest="scenario_command", required=True)
+
+    def _scenario_run_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--config", action="append", default=[],
+                            help="scenario config JSON file (repeatable)")
+        parser.add_argument("--users", type=int, help="override corpus users")
+        parser.add_argument("--seed", type=int, help="override corpus RNG seed")
+        parser.add_argument(
+            "--gazetteer",
+            help="override area system: 'legacy' or 'synth:<areas>[@<seed>]'",
+        )
+        parser.add_argument("--jobs", type=int, default=1, help="parallel workers")
+        parser.add_argument("--cache-dir", help="artifact cache directory")
+        parser.add_argument(
+            "--force", action="store_true", help="re-execute even on cache hits"
+        )
+        parser.add_argument(
+            "--json", dest="json_out", metavar="PATH",
+            help="also write the result as JSON ('-' for stdout)",
+        )
+
+    srun = scen_sub.add_parser(
+        "run", help="run one scenario, cached on the artifact store"
+    )
+    srun.add_argument(
+        "name", nargs="?", help="named scenario (see 'repro scenario list')"
+    )
+    _scenario_run_options(srun)
+    scomp = scen_sub.add_parser(
+        "compare", help="run scenarios as one DAG and diff them against the first"
+    )
+    scomp.add_argument("names", nargs="*", help="named scenarios (baseline first)")
+    _scenario_run_options(scomp)
+    scen_sub.add_parser("list", help="the named scenario library")
 
     gt = sub.add_parser(
         "groundtruth",
@@ -731,19 +769,11 @@ def _cmd_epidemic(args: argparse.Namespace) -> int:
 
     corpus = _load_or_generate(args)
     context = ExperimentContext(corpus)
-    flows = context.flows(Scale.NATIONAL)
-    pairs = flows.pairs()
-    if args.model == "gravity2":
-        fitted = GravityModel(2).fit(pairs)
-    elif args.model == "gravity4":
-        fitted = GravityModel(4).fit(pairs)
-    else:
-        fitted = RadiationModel.from_flows(flows).fit(pairs)
-    network = network_from_model(fitted, context.world(Scale.NATIONAL))
+    network = context.network(Scale.NATIONAL, args.model)
     gamma = 0.2
     beta = args.r0 * gamma
     print(
-        f"Seeding outbreak in {args.seed_city} (R0={args.r0}, model={fitted.name}) ...",
+        f"Seeding outbreak in {args.seed_city} (R0={args.r0}, model={args.model}) ...",
         file=sys.stderr,
     )
     summary = arrival_times(
@@ -755,6 +785,100 @@ def _cmd_epidemic(args: argparse.Namespace) -> int:
         rng=np.random.default_rng(args.seed),
     )
     print(summary.render())
+    return 0
+
+
+def _scenario_configs(args: argparse.Namespace, names: list[str]):
+    """Resolve named + file-based scenario configs with CLI overrides."""
+    import json
+
+    from repro.scenario import ScenarioConfig, ScenarioConfigError, named_scenario
+
+    configs = []
+    try:
+        for name in names:
+            configs.append(named_scenario(name))
+        for path in args.config:
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except FileNotFoundError:
+                raise CLIError(f"scenario config not found: {path}") from None
+            except json.JSONDecodeError as error:
+                raise CLIError(f"invalid JSON in {path}: {error}") from None
+            configs.append(ScenarioConfig.from_dict(payload))
+    except ScenarioConfigError as error:
+        raise CLIError(str(error)) from error
+    return [
+        config.with_overrides(
+            users=args.users, seed=args.seed, gazetteer=args.gazetteer
+        )
+        for config in configs
+    ]
+
+
+def _emit_scenario_json(args: argparse.Namespace, payload: dict) -> None:
+    import json
+
+    if not args.json_out:
+        return
+    text = json.dumps(payload, indent=2, allow_nan=False)
+    if args.json_out == "-":
+        print(text)
+    else:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.json_out}", file=sys.stderr)
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.pipeline import ArtifactStore, TaskFailure
+    from repro.scenario import (
+        ScenarioConfigError,
+        run_comparison,
+        run_scenario,
+        scenario_descriptions,
+    )
+
+    if args.scenario_command == "list":
+        descriptions = scenario_descriptions()
+        width = max(len(name) for name in descriptions)
+        for name, description in descriptions.items():
+            print(f"{name:<{width + 2}s}{description}")
+        return 0
+
+    if getattr(args, "jobs", 1) < 1:
+        raise CLIError(f"--jobs must be >= 1, got {args.jobs}")
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
+
+    if args.scenario_command == "run":
+        names = [args.name] if args.name else []
+        configs = _scenario_configs(args, names)
+        if len(configs) != 1:
+            raise CLIError("scenario run takes exactly one scenario (name or --config)")
+        try:
+            result, run = run_scenario(
+                configs[0], store=store, jobs=args.jobs, force=args.force
+            )
+        except TaskFailure as error:
+            raise CLIError(f"scenario failed: {error}", code=1) from error
+        print(result.render())
+        print(run.manifest.summary(), file=sys.stderr)
+        _emit_scenario_json(args, result.to_json_dict())
+        return 0
+
+    configs = _scenario_configs(args, list(args.names))
+    try:
+        comparison, run = run_comparison(
+            tuple(configs), store=store, jobs=args.jobs, force=args.force
+        )
+    except ScenarioConfigError as error:
+        raise CLIError(str(error)) from error
+    except TaskFailure as error:
+        raise CLIError(f"scenario comparison failed: {error}", code=1) from error
+    print(comparison.render())
+    print(run.manifest.summary(), file=sys.stderr)
+    _emit_scenario_json(args, comparison.to_json_dict())
     return 0
 
 
@@ -915,6 +1039,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "summary": _cmd_summary,
         "epidemic": _cmd_epidemic,
+        "scenario": _cmd_scenario,
         "groundtruth": _cmd_groundtruth,
         "validate": _cmd_validate,
         "distance": _cmd_distance,

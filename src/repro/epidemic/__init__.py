@@ -30,10 +30,25 @@ from repro.epidemic.inference import (
     r0_from_growth_rate,
 )
 from repro.epidemic.interventions import (
+    EpidemicSetting,
+    Intervention,
+    InterventionError,
+    InterventionStackError,
+    MobilityRestriction,
+    ModeShift,
+    TravelScaling,
+    Vaccination,
+    VariantSeeding,
     allocate_by_centrality,
     allocate_by_population,
     allocate_seed_ring,
+    apply_stack,
     evaluate_vaccination,
+    intervention_from_dict,
+    simulate_setting,
+    simulate_with_immunity,
+    stack_order,
+    validate_stack,
 )
 from repro.epidemic.network import MobilityNetwork, network_from_flows, network_from_model
 from repro.epidemic.seir import SEIRParams, SEIRResult, simulate_seir
@@ -45,17 +60,32 @@ from repro.epidemic.simulation import (
 )
 
 __all__ = [
+    "EpidemicSetting",
+    "Intervention",
+    "InterventionError",
+    "InterventionStackError",
     "MobilityNetwork",
+    "MobilityRestriction",
+    "ModeShift",
     "OutbreakSummary",
     "SEIRParams",
     "SEIRResult",
     "SirFit",
     "StochasticResult",
+    "TravelScaling",
+    "Vaccination",
+    "VariantSeeding",
     "allocate_by_centrality",
     "allocate_by_population",
     "allocate_seed_ring",
+    "apply_stack",
     "arrival_times",
     "evaluate_vaccination",
+    "intervention_from_dict",
+    "simulate_setting",
+    "simulate_with_immunity",
+    "stack_order",
+    "validate_stack",
     "effective_distance_matrix",
     "estimate_growth_rate",
     "fit_sir_curve",

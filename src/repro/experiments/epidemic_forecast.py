@@ -20,11 +20,10 @@ import numpy as np
 from repro.data.corpus import TweetCorpus
 from repro.data.gazetteer import Scale
 from repro.epidemic.inference import SirFit, fit_sir_curve
-from repro.epidemic.network import MobilityNetwork, network_from_model
+from repro.epidemic.network import MobilityNetwork
 from repro.epidemic.seir import SEIRParams, simulate_seir
 from repro.epidemic.simulation import simulate_stochastic_sir
 from repro.experiments.scales import ExperimentContext
-from repro.models.gravity import GravityModel
 from repro.stats.correlation import CorrelationResult, pearson
 
 
@@ -73,7 +72,7 @@ class ForecastResult:
 
 
 def run_forecast_experiment(
-    corpus_or_context: TweetCorpus | ExperimentContext,
+    corpus_or_context: TweetCorpus | ExperimentContext | None,
     seed_city: str = "Brisbane",
     hidden_beta: float = 0.55,
     hidden_gamma: float = 0.22,
@@ -81,15 +80,22 @@ def run_forecast_experiment(
     initial_cases: int = 20,
     arrival_threshold: float = 20.0,
     outbreak_seed: int = 42,
+    network: MobilityNetwork | None = None,
 ) -> ForecastResult:
-    """Run the full loop on one corpus; see the module docstring."""
-    if isinstance(corpus_or_context, ExperimentContext):
-        context = corpus_or_context
-    else:
-        context = ExperimentContext(corpus_or_context)
-    pairs = context.flows(Scale.NATIONAL).pairs()
-    fitted_gravity = GravityModel(2).fit(pairs)
-    network = network_from_model(fitted_gravity, context.world(Scale.NATIONAL))
+    """Run the full loop on one corpus; see the module docstring.
+
+    Pass ``network`` to forecast on a pre-built (possibly intervened)
+    mobility network — the scenario engine does this; the default fits
+    Gravity 2Param on the context's national flows.
+    """
+    if network is None:
+        if corpus_or_context is None:
+            raise ValueError("need a corpus/context or an explicit network")
+        if isinstance(corpus_or_context, ExperimentContext):
+            context = corpus_or_context
+        else:
+            context = ExperimentContext(corpus_or_context)
+        network = context.network(Scale.NATIONAL, "gravity2")
     seed_index = network.names.index(seed_city)
 
     truth = simulate_stochastic_sir(

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.core.world import World
 from repro.data.corpus import TweetCorpus
 from repro.data.gazetteer import Area, Scale
+from repro.epidemic.network import MobilityNetwork, network_from_model
 from repro.extraction.mobility import ODFlows, extract_od_flows
 from repro.extraction.population import (
     AreaObservation,
@@ -20,6 +21,7 @@ from repro.extraction.population import (
     extract_area_observations,
 )
 from repro.geo.index import GridIndex
+from repro.models.registry import fit_kind
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,6 +77,7 @@ class ExperimentContext:
         self._observations: dict[tuple[Scale, float], list[AreaObservation]] = {}
         self._labels: dict[tuple[Scale, float], "object"] = {}
         self._flows: dict[tuple[Scale, float], ODFlows] = {}
+        self._networks: dict[tuple[Scale, str, float], MobilityNetwork] = {}
 
     @property
     def index(self) -> GridIndex:
@@ -139,3 +142,24 @@ class ExperimentContext:
                 self.corpus, self.labels(scale, radius), spec.areas
             )
         return self._flows[key]
+
+    def network(
+        self,
+        scale: Scale,
+        model: str = "gravity2",
+        trips_per_person_per_day: float = 0.05,
+    ) -> MobilityNetwork:
+        """Cached model-coupled mobility network for a scale.
+
+        ``model`` is a :data:`repro.models.MODEL_KINDS` string; the
+        model is fitted on the scale's cached OD flows and coupled over
+        the world's cached centre-distance matrix, so repeated scenario
+        evaluations over one context fit each (scale, kind) pair once.
+        """
+        key = (scale, model, trips_per_person_per_day)
+        if key not in self._networks:
+            fitted = fit_kind(model, self.flows(scale))
+            self._networks[key] = network_from_model(
+                fitted, self.world(scale), trips_per_person_per_day
+            )
+        return self._networks[key]

@@ -43,6 +43,7 @@ from repro.models.radiation_grid import (
     population_grid_from_corpus,
     population_grid_from_world,
 )
+from repro.models.registry import MODEL_KINDS, fit_kind, model_from_kind
 from repro.models.selection import (
     BootstrapInterval,
     CrossValidationResult,
@@ -68,7 +69,10 @@ __all__ = [
     "FittedRadiation",
     "GravityExpModel",
     "GridRadiationModel",
+    "MODEL_KINDS",
     "PopulationGrid",
+    "fit_kind",
+    "model_from_kind",
     "StackedModel",
     "population_grid_from_corpus",
     "population_grid_from_world",

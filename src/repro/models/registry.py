@@ -1,0 +1,48 @@
+"""Canonical model-kind registry.
+
+The CLI, the scenario engine and the ablation benchmarks all let the
+user pick a mobility model with a short string (``gravity2``,
+``gravity4``, ``radiation``).  This module is the single place that
+string is interpreted, so every entry point fits *exactly* the same
+model the same way.
+"""
+
+from __future__ import annotations
+
+from repro.extraction.mobility import ODFlows, ODPairs
+from repro.models.base import FittedMobilityModel, MobilityModel
+from repro.models.gravity import GravityModel
+from repro.models.radiation import RadiationModel
+
+#: The model kinds every kind-dispatching entry point accepts.
+MODEL_KINDS = ("gravity2", "gravity4", "radiation")
+
+
+def model_from_kind(kind: str, flows: ODFlows) -> MobilityModel:
+    """The unfitted model a kind string names.
+
+    Radiation needs the flow dataset up front (its intervening-population
+    term ``s`` is geometry, not a fitted parameter), which is why the
+    registry takes ``flows`` rather than nothing.
+    """
+    if kind == "gravity2":
+        return GravityModel(2)
+    if kind == "gravity4":
+        return GravityModel(4)
+    if kind == "radiation":
+        return RadiationModel.from_flows(flows)
+    raise ValueError(
+        f"unknown model kind {kind!r}; expected one of {', '.join(MODEL_KINDS)}"
+    )
+
+
+def fit_kind(
+    kind: str, flows: ODFlows, pairs: ODPairs | None = None
+) -> FittedMobilityModel:
+    """Fit the named model kind on a flow dataset.
+
+    ``pairs`` can be passed when the caller already materialised
+    ``flows.pairs()`` (it is recomputed otherwise).
+    """
+    model = model_from_kind(kind, flows)
+    return model.fit(flows.pairs() if pairs is None else pairs)

@@ -20,6 +20,8 @@ from repro.pipeline.executor import Executor, RunResult
 from repro.pipeline.graph import CycleError, Pipeline
 from repro.pipeline.graphs import (
     ARTEFACT_TASKS,
+    corpus_task,
+    index_task,
     run_all_experiments_cached,
     run_suite,
     suite_pipeline,
@@ -43,9 +45,11 @@ __all__ = [
     "TaskContext",
     "TaskFailure",
     "TaskRecord",
+    "corpus_task",
     "default_cache_dir",
     "fingerprint",
     "hash_file",
+    "index_task",
     "run_all_experiments_cached",
     "run_suite",
     "suite_pipeline",

@@ -82,6 +82,46 @@ def _context(ctx: TaskContext) -> ExperimentContext:
     )
 
 
+def corpus_task(
+    config: SynthConfig | None = None, corpus_path: str | None = None
+) -> Task:
+    """The shared ``corpus`` source task (synthesise or load a CSV).
+
+    Exactly one source applies: ``corpus_path`` (cache-keyed by the
+    file's content hash, so an edited file is a miss) wins over
+    ``config`` (cache-keyed by every :class:`SynthConfig` field).  The
+    task is *named* ``corpus`` with stable params, so every graph built
+    from it — the experiment suite, scenario pipelines — shares one
+    cached corpus artifact per configuration.
+    """
+    if corpus_path is not None:
+        return Task(
+            name="corpus",
+            fn=_task_load_corpus,
+            params={"path": str(corpus_path), "content": hash_file(corpus_path)},
+            version=TASK_VERSIONS["corpus"],
+        )
+    config = config or SynthConfig()
+    return Task(
+        name="corpus",
+        fn=_task_generate,
+        params=dataclasses.asdict(config),
+        version=TASK_VERSIONS["corpus"],
+        # Generation shards across its own worker pool (ctx.jobs).
+        run_in_parent=True,
+    )
+
+
+def index_task() -> Task:
+    """The shared ``index`` task (spatial index over the corpus)."""
+    return Task(
+        name="index",
+        fn=_task_index,
+        deps=("corpus",),
+        version=TASK_VERSIONS["index"],
+    )
+
+
 def _task_table1(ctx: TaskContext):
     return run_table1(ctx.input("corpus"))
 
@@ -124,32 +164,8 @@ def suite_pipeline(
     """
     if gazetteer is None:
         gazetteer = config.gazetteer if config is not None else "legacy"
-    if corpus_path is not None:
-        corpus_task = Task(
-            name="corpus",
-            fn=_task_load_corpus,
-            params={"path": str(corpus_path), "content": hash_file(corpus_path)},
-            version=TASK_VERSIONS["corpus"],
-        )
-    else:
-        config = config or SynthConfig()
-        corpus_task = Task(
-            name="corpus",
-            fn=_task_generate,
-            params=dataclasses.asdict(config),
-            version=TASK_VERSIONS["corpus"],
-            # Generation shards across its own worker pool (ctx.jobs).
-            run_in_parent=True,
-        )
-    pipeline = Pipeline([corpus_task])
-    pipeline.add(
-        Task(
-            name="index",
-            fn=_task_index,
-            deps=("corpus",),
-            version=TASK_VERSIONS["index"],
-        )
-    )
+    pipeline = Pipeline([corpus_task(config=config, corpus_path=corpus_path)])
+    pipeline.add(index_task())
     simple = {"table1": _task_table1, "fig1": _task_fig1, "fig2": _task_fig2}
     for name, fn in simple.items():
         pipeline.add(

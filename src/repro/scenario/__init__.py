@@ -1,0 +1,75 @@
+"""Declarative counterfactual scenarios on the pipeline DAG.
+
+A *scenario* is a plain dict: which world (gazetteer + scale), which
+synthetic corpus, which mobility model couples the metapopulation
+network, which outbreak, which interventions, which outputs.  The
+package validates the dict (:mod:`~repro.scenario.config`), evaluates
+it through one shared engine (:mod:`~repro.scenario.engine`), compiles
+it into content-addressed pipeline tasks so runs cache, shard and
+compose (:mod:`~repro.scenario.compiler`), and ships a library of named
+scenarios (:mod:`~repro.scenario.library`) that bit-match the legacy
+ablation scripts they replaced.
+
+Quickstart::
+
+    from repro.scenario import named_scenario, run_scenario
+
+    result, run = run_scenario(named_scenario("lockdown-hard"))
+    print(result.render())
+    print(run.manifest.summary())   # second invocation: all cache hits
+"""
+
+from repro.scenario.compiler import (
+    SCENARIO_TASK_VERSIONS,
+    comparison_pipeline,
+    network_task_name,
+    run_comparison,
+    run_scenario,
+    scenario_pipeline,
+    scenario_task_name,
+)
+from repro.scenario.config import (
+    DEFAULT_FORECAST_OUTPUTS,
+    DEFAULT_OUTPUTS,
+    FORECAST_OUTPUT_KINDS,
+    OUTPUT_KINDS,
+    CorpusSpec,
+    EpidemicSpec,
+    ForecastSpec,
+    ModelSpec,
+    ScenarioConfig,
+    ScenarioConfigError,
+    WorldSpec,
+)
+from repro.scenario.engine import build_setting, evaluate_on_network, evaluate_scenario
+from repro.scenario.library import named_scenario, scenario_descriptions, scenario_names
+from repro.scenario.result import ComparisonResult, ScenarioResult
+
+__all__ = [
+    "DEFAULT_FORECAST_OUTPUTS",
+    "DEFAULT_OUTPUTS",
+    "FORECAST_OUTPUT_KINDS",
+    "OUTPUT_KINDS",
+    "SCENARIO_TASK_VERSIONS",
+    "ComparisonResult",
+    "CorpusSpec",
+    "EpidemicSpec",
+    "ForecastSpec",
+    "ModelSpec",
+    "ScenarioConfig",
+    "ScenarioConfigError",
+    "ScenarioResult",
+    "WorldSpec",
+    "build_setting",
+    "comparison_pipeline",
+    "evaluate_on_network",
+    "evaluate_scenario",
+    "named_scenario",
+    "network_task_name",
+    "run_comparison",
+    "run_scenario",
+    "scenario_descriptions",
+    "scenario_names",
+    "scenario_pipeline",
+    "scenario_task_name",
+]

@@ -1,0 +1,428 @@
+"""Declarative scenario configuration.
+
+A scenario is a plain dict (JSON-able) naming a world, a synthetic
+corpus, a mobility model, an epidemic setup, an intervention stack and
+the outputs to extract.  :meth:`ScenarioConfig.from_dict` validates the
+whole thing up front — unknown keys, wrong types, out-of-range values
+and statically-invalid intervention stacks are all rejected with
+pointed messages before anything expensive runs — and the frozen result
+round-trips back through :meth:`ScenarioConfig.to_dict` in canonical
+form, which is what the pipeline compiler fingerprints for cache keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.data.gazetteer import Scale
+from repro.epidemic.interventions import (
+    Intervention,
+    InterventionError,
+    intervention_from_dict,
+    validate_stack,
+)
+from repro.models.registry import MODEL_KINDS
+from repro.synth.config import SynthConfig
+
+
+class ScenarioConfigError(ValueError):
+    """A scenario config dict failed validation."""
+
+
+#: Output kinds an epidemic scenario can request.
+OUTPUT_KINDS = (
+    "arrival_times",
+    "attack_rate",
+    "mean_arrival_day",
+    "peak_infectious",
+    "peak_times",
+    "total_infected",
+)
+
+#: Output kinds a forecast scenario can request.
+FORECAST_OUTPUT_KINDS = (
+    "forecast_actual_arrival",
+    "forecast_inferred_r0",
+    "forecast_median_error_days",
+    "forecast_predicted_arrival",
+    "forecast_skill_p",
+    "forecast_skill_r",
+)
+
+#: Defaults when a config does not name its outputs.
+DEFAULT_OUTPUTS = ("arrival_times", "attack_rate", "mean_arrival_day", "total_infected")
+DEFAULT_FORECAST_OUTPUTS = (
+    "forecast_skill_r",
+    "forecast_skill_p",
+    "forecast_median_error_days",
+    "forecast_inferred_r0",
+)
+
+
+def _require_mapping(section: str, value: object) -> dict:
+    if not isinstance(value, Mapping):
+        raise ScenarioConfigError(f"{section}: expected a mapping, got {type(value).__name__}")
+    return dict(value)
+
+
+def _reject_unknown(section: str, data: Mapping, allowed: tuple[str, ...]) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ScenarioConfigError(
+            f"{section}: unknown keys {', '.join(unknown)}; "
+            f"expected only {', '.join(allowed)}"
+        )
+
+
+def _number(section: str, key: str, value: object, minimum: float | None = None) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioConfigError(f"{section}.{key}: expected a number, got {value!r}")
+    number = float(value)
+    if minimum is not None and not number >= minimum:
+        raise ScenarioConfigError(f"{section}.{key}: must be >= {minimum}, got {value!r}")
+    return number
+
+
+def _integer(section: str, key: str, value: object, minimum: int | None = None) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScenarioConfigError(f"{section}.{key}: expected an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise ScenarioConfigError(f"{section}.{key}: must be >= {minimum}, got {value!r}")
+    return int(value)
+
+
+def _string(section: str, key: str, value: object) -> str:
+    if not isinstance(value, str) or not value:
+        raise ScenarioConfigError(
+            f"{section}.{key}: expected a non-empty string, got {value!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class WorldSpec:
+    """Which area system and scale the scenario runs on."""
+
+    gazetteer: str = "legacy"
+    scale: Scale = Scale.NATIONAL
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WorldSpec":
+        data = _require_mapping("world", data)
+        _reject_unknown("world", data, ("gazetteer", "scale"))
+        gazetteer = _string("world", "gazetteer", data.get("gazetteer", "legacy"))
+        raw_scale = data.get("scale", Scale.NATIONAL.value)
+        try:
+            scale = Scale(raw_scale)
+        except ValueError:
+            raise ScenarioConfigError(
+                f"world.scale: unknown scale {raw_scale!r}; "
+                f"expected one of {', '.join(s.value for s in Scale)}"
+            ) from None
+        return cls(gazetteer=gazetteer, scale=scale)
+
+    def to_dict(self) -> dict:
+        return {"gazetteer": self.gazetteer, "scale": self.scale.value}
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Synthetic corpus parameters (drives the shared ``corpus`` task)."""
+
+    users: int = 20_000
+    seed: int = 20150413
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CorpusSpec":
+        data = _require_mapping("corpus", data)
+        _reject_unknown("corpus", data, ("users", "seed"))
+        return cls(
+            users=_integer("corpus", "users", data.get("users", 20_000), minimum=1),
+            seed=_integer("corpus", "seed", data.get("seed", 20150413)),
+        )
+
+    def to_dict(self) -> dict:
+        return {"users": self.users, "seed": self.seed}
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Which mobility model couples the metapopulation network."""
+
+    kind: str = "gravity2"
+    trips_per_person_per_day: float = 0.05
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ModelSpec":
+        data = _require_mapping("model", data)
+        _reject_unknown("model", data, ("kind", "trips_per_person_per_day"))
+        kind = _string("model", "kind", data.get("kind", "gravity2"))
+        if kind not in MODEL_KINDS:
+            raise ScenarioConfigError(
+                f"model.kind: unknown model {kind!r}; "
+                f"expected one of {', '.join(MODEL_KINDS)}"
+            )
+        trips = _number(
+            "model",
+            "trips_per_person_per_day",
+            data.get("trips_per_person_per_day", 0.05),
+            minimum=0.0,
+        )
+        if trips <= 0:
+            raise ScenarioConfigError("model.trips_per_person_per_day: must be positive")
+        return cls(kind=kind, trips_per_person_per_day=trips)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "trips_per_person_per_day": self.trips_per_person_per_day}
+
+
+@dataclass(frozen=True)
+class EpidemicSpec:
+    """The outbreak: transmission parameters, seed and horizon."""
+
+    beta: float = 0.5
+    sigma: float = 0.25
+    gamma: float = 0.2
+    seed_city: str = "Sydney"
+    initial_cases: float = 10.0
+    t_max_days: float = 365.0
+    dt_days: float = 0.25
+    arrival_threshold: float = 10.0
+
+    _KEYS = (
+        "beta",
+        "sigma",
+        "gamma",
+        "seed_city",
+        "initial_cases",
+        "t_max_days",
+        "dt_days",
+        "arrival_threshold",
+    )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "EpidemicSpec":
+        data = _require_mapping("epidemic", data)
+        _reject_unknown("epidemic", data, cls._KEYS)
+        defaults = cls()
+        values = {}
+        for key in ("beta", "sigma", "gamma", "initial_cases", "t_max_days", "dt_days",
+                    "arrival_threshold"):
+            values[key] = _number("epidemic", key, data.get(key, getattr(defaults, key)))
+            if values[key] <= 0:
+                raise ScenarioConfigError(f"epidemic.{key}: must be positive")
+        values["seed_city"] = _string(
+            "epidemic", "seed_city", data.get("seed_city", defaults.seed_city)
+        )
+        return cls(**values)
+
+    def to_dict(self) -> dict:
+        return {key: getattr(self, key) for key in self._KEYS}
+
+
+@dataclass(frozen=True)
+class ForecastSpec:
+    """Optional forecast-loop mode (sense → infer → forecast → score)."""
+
+    hidden_beta: float = 0.55
+    hidden_gamma: float = 0.22
+    observation_days: int = 60
+    initial_cases: int = 20
+    arrival_threshold: float = 20.0
+    outbreak_seed: int = 42
+
+    _KEYS = (
+        "hidden_beta",
+        "hidden_gamma",
+        "observation_days",
+        "initial_cases",
+        "arrival_threshold",
+        "outbreak_seed",
+    )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ForecastSpec":
+        data = _require_mapping("forecast", data)
+        _reject_unknown("forecast", data, cls._KEYS)
+        defaults = cls()
+        return cls(
+            hidden_beta=_number(
+                "forecast", "hidden_beta", data.get("hidden_beta", defaults.hidden_beta),
+                minimum=1e-9,
+            ),
+            hidden_gamma=_number(
+                "forecast", "hidden_gamma", data.get("hidden_gamma", defaults.hidden_gamma),
+                minimum=1e-9,
+            ),
+            observation_days=_integer(
+                "forecast", "observation_days",
+                data.get("observation_days", defaults.observation_days), minimum=2,
+            ),
+            initial_cases=_integer(
+                "forecast", "initial_cases",
+                data.get("initial_cases", defaults.initial_cases), minimum=1,
+            ),
+            arrival_threshold=_number(
+                "forecast", "arrival_threshold",
+                data.get("arrival_threshold", defaults.arrival_threshold), minimum=1e-9,
+            ),
+            outbreak_seed=_integer(
+                "forecast", "outbreak_seed", data.get("outbreak_seed", defaults.outbreak_seed)
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        return {key: getattr(self, key) for key in self._KEYS}
+
+
+_TOP_KEYS = (
+    "name",
+    "description",
+    "world",
+    "corpus",
+    "model",
+    "epidemic",
+    "interventions",
+    "outputs",
+    "forecast",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One fully-validated scenario, ready to evaluate or compile."""
+
+    name: str
+    world: WorldSpec = WorldSpec()
+    corpus: CorpusSpec = CorpusSpec()
+    model: ModelSpec = ModelSpec()
+    epidemic: EpidemicSpec = EpidemicSpec()
+    interventions: tuple[Intervention, ...] = ()
+    outputs: tuple[str, ...] = DEFAULT_OUTPUTS
+    forecast: ForecastSpec | None = None
+    description: str = ""
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioConfig":
+        """Validate a plain config dict into a frozen ScenarioConfig."""
+        data = _require_mapping("scenario", data)
+        _reject_unknown("scenario", data, _TOP_KEYS)
+        if "name" not in data:
+            raise ScenarioConfigError("scenario.name: required")
+        name = _string("scenario", "name", data["name"])
+        description = data.get("description", "")
+        if not isinstance(description, str):
+            raise ScenarioConfigError("scenario.description: expected a string")
+
+        raw_interventions = data.get("interventions", [])
+        if isinstance(raw_interventions, (str, bytes)) or not hasattr(
+            raw_interventions, "__iter__"
+        ):
+            raise ScenarioConfigError("scenario.interventions: expected a list of mappings")
+        try:
+            interventions = tuple(
+                item if isinstance(item, Intervention) else intervention_from_dict(item)
+                for item in raw_interventions
+            )
+            interventions = validate_stack(interventions)
+        except ScenarioConfigError:
+            raise
+        except InterventionError as exc:
+            raise ScenarioConfigError(f"scenario.interventions: {exc}") from exc
+
+        forecast = (
+            ForecastSpec.from_dict(data["forecast"])
+            if data.get("forecast") is not None
+            else None
+        )
+
+        raw_outputs = data.get("outputs")
+        if raw_outputs is None:
+            outputs = DEFAULT_FORECAST_OUTPUTS if forecast is not None else DEFAULT_OUTPUTS
+        else:
+            if isinstance(raw_outputs, (str, bytes)) or not hasattr(raw_outputs, "__iter__"):
+                raise ScenarioConfigError("scenario.outputs: expected a list of strings")
+            outputs = tuple(raw_outputs)
+            allowed = FORECAST_OUTPUT_KINDS if forecast is not None else OUTPUT_KINDS
+            mode = "forecast" if forecast is not None else "epidemic"
+            for output in outputs:
+                if output not in allowed:
+                    raise ScenarioConfigError(
+                        f"scenario.outputs: {output!r} is not a valid {mode}-scenario "
+                        f"output; expected one of {', '.join(allowed)}"
+                    )
+            if not outputs:
+                raise ScenarioConfigError("scenario.outputs: at least one output required")
+
+        config = cls(
+            name=name,
+            world=WorldSpec.from_dict(data.get("world", {})),
+            corpus=CorpusSpec.from_dict(data.get("corpus", {})),
+            model=ModelSpec.from_dict(data.get("model", {})),
+            epidemic=EpidemicSpec.from_dict(data.get("epidemic", {})),
+            interventions=interventions,
+            outputs=outputs,
+            forecast=forecast,
+            description=description,
+        )
+        if config.forecast is not None:
+            bad = [i.kind for i in config.interventions if i.phase != 0]
+            if bad:
+                raise ScenarioConfigError(
+                    "forecast scenarios support network-phase interventions only "
+                    f"(the forecast loop has no immunity/seeding channel); got {', '.join(bad)}"
+                )
+        return config
+
+    def to_dict(self) -> dict:
+        """The canonical JSON-able form (interventions in stack order).
+
+        This is what the compiler fingerprints: two configs that mean
+        the same scenario — e.g. the same stack declared in a different
+        order — serialise identically and therefore share a cache key.
+        """
+        return {
+            "name": self.name,
+            "description": self.description,
+            "world": self.world.to_dict(),
+            "corpus": self.corpus.to_dict(),
+            "model": self.model.to_dict(),
+            "epidemic": self.epidemic.to_dict(),
+            "interventions": [i.spec() for i in validate_stack(self.interventions)],
+            "outputs": list(self.outputs),
+            "forecast": None if self.forecast is None else self.forecast.to_dict(),
+        }
+
+    def synth_config(self) -> SynthConfig:
+        """The synthesis config for this scenario's corpus.
+
+        Only users/seed/gazetteer vary by scenario; every other synth
+        knob keeps its default, so scenario corpora share cache entries
+        with ``repro pipeline run`` invocations at the same settings.
+        """
+        return SynthConfig(
+            n_users=self.corpus.users,
+            seed=self.corpus.seed,
+            gazetteer=self.world.gazetteer,
+        )
+
+    def with_overrides(
+        self,
+        users: int | None = None,
+        seed: int | None = None,
+        gazetteer: str | None = None,
+    ) -> "ScenarioConfig":
+        """A copy with CLI-style corpus/world overrides applied."""
+        config = self
+        if users is not None or seed is not None:
+            config = replace(
+                config,
+                corpus=CorpusSpec(
+                    users=users if users is not None else config.corpus.users,
+                    seed=seed if seed is not None else config.corpus.seed,
+                ),
+            )
+        if gazetteer is not None:
+            config = replace(config, world=replace(config.world, gazetteer=gazetteer))
+        return config

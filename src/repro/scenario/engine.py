@@ -1,0 +1,142 @@
+"""Scenario evaluation: one code path for every entry point.
+
+The pipeline's scenario task bodies, the thin ablation benchmark
+runners and the equivalence tests all call :func:`evaluate_on_network`
+(or its context-level wrapper :func:`evaluate_scenario`), so a scenario
+means exactly one computation no matter how it is invoked — which is
+what makes the bit-match guarantees against the legacy ablation scripts
+meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.epidemic.interventions import EpidemicSetting, apply_stack, simulate_setting
+from repro.epidemic.network import MobilityNetwork
+from repro.epidemic.seir import SEIRParams, SEIRResult
+from repro.experiments.epidemic_forecast import run_forecast_experiment
+from repro.experiments.scales import ExperimentContext
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.result import ScenarioResult
+
+
+def build_setting(
+    config: ScenarioConfig,
+    network: MobilityNetwork,
+    distances_km: np.ndarray | None = None,
+) -> EpidemicSetting:
+    """The post-intervention epidemic setting for a scenario."""
+    params = SEIRParams(
+        beta=config.epidemic.beta,
+        sigma=config.epidemic.sigma,
+        gamma=config.epidemic.gamma,
+    )
+    setting = EpidemicSetting(network=network, params=params, distances_km=distances_km)
+    return apply_stack(setting, config.interventions)
+
+
+def _epidemic_outputs(
+    config: ScenarioConfig, setting: EpidemicSetting, result: SEIRResult
+) -> dict:
+    epidemic = config.epidemic
+    seed_index = setting.network.names.index(epidemic.seed_city)
+    arrivals = result.arrival_times(threshold=epidemic.arrival_threshold)
+    outputs: dict = {}
+    for kind in config.outputs:
+        if kind == "arrival_times":
+            outputs[kind] = arrivals
+        elif kind == "total_infected":
+            outputs[kind] = float(
+                result.r[-1].sum() + result.i[-1].sum() + result.e[-1].sum()
+            )
+        elif kind == "attack_rate":
+            total = float(result.r[-1].sum() + result.i[-1].sum() + result.e[-1].sum())
+            outputs[kind] = total / float(setting.network.populations.sum())
+        elif kind == "mean_arrival_day":
+            finite = np.isfinite(arrivals)
+            finite[seed_index] = False
+            outputs[kind] = (
+                float(arrivals[finite].mean()) if finite.any() else float("inf")
+            )
+        elif kind == "peak_times":
+            outputs[kind] = result.peak_times()
+        elif kind == "peak_infectious":
+            outputs[kind] = float(result.i.sum(axis=1).max())
+        else:  # pragma: no cover - from_dict already rejects unknown kinds
+            raise ValueError(f"unknown output kind {kind!r}")
+    return outputs
+
+
+def _forecast_outputs(config: ScenarioConfig, setting: EpidemicSetting) -> dict:
+    forecast = config.forecast
+    assert forecast is not None
+    experiment = run_forecast_experiment(
+        None,
+        seed_city=config.epidemic.seed_city,
+        hidden_beta=forecast.hidden_beta,
+        hidden_gamma=forecast.hidden_gamma,
+        observation_days=forecast.observation_days,
+        initial_cases=forecast.initial_cases,
+        arrival_threshold=forecast.arrival_threshold,
+        outbreak_seed=forecast.outbreak_seed,
+        network=setting.network,
+    )
+    available = {
+        "forecast_skill_r": float(experiment.skill.r),
+        "forecast_skill_p": float(experiment.skill.p_value),
+        "forecast_median_error_days": float(experiment.median_error_days),
+        "forecast_inferred_r0": float(experiment.inferred.r0),
+        "forecast_predicted_arrival": experiment.predicted_arrival,
+        "forecast_actual_arrival": experiment.actual_arrival,
+    }
+    return {kind: available[kind] for kind in config.outputs}
+
+
+def evaluate_on_network(
+    config: ScenarioConfig,
+    network: MobilityNetwork,
+    distances_km: np.ndarray | None = None,
+) -> ScenarioResult:
+    """Evaluate a scenario on an already-built mobility network.
+
+    ``distances_km`` is the world's centre-distance matrix; it is only
+    required when the stack contains a distance-aware intervention
+    (mode shift).
+    """
+    setting = build_setting(config, network, distances_km)
+    if config.forecast is not None:
+        outputs = _forecast_outputs(config, setting)
+    else:
+        epidemic = config.epidemic
+        result = simulate_setting(
+            setting,
+            {epidemic.seed_city: epidemic.initial_cases},
+            t_max_days=epidemic.t_max_days,
+            dt_days=epidemic.dt_days,
+        )
+        outputs = _epidemic_outputs(config, setting, result)
+    return ScenarioResult(
+        name=config.name,
+        config=config.to_dict(),
+        patch_names=setting.network.names,
+        seed_city=config.epidemic.seed_city,
+        outputs=outputs,
+    )
+
+
+def evaluate_scenario(config: ScenarioConfig, context: ExperimentContext) -> ScenarioResult:
+    """Evaluate a scenario against an experiment context's corpus.
+
+    The network is fitted through the context's memoised caches, so
+    evaluating many scenarios over one context (the benchmark runners,
+    a comparison) fits each (scale, model) pair exactly once.  The
+    context's corpus wins over ``config.corpus`` — the corpus spec only
+    drives corpus *construction* in the compiled pipeline.
+    """
+    scale = config.world.scale
+    network = context.network(
+        scale, config.model.kind, config.model.trips_per_person_per_day
+    )
+    distances = context.world(scale).distance_matrix_km
+    return evaluate_on_network(config, network, distances)

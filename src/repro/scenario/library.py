@@ -1,0 +1,151 @@
+"""The batteries-included named scenario library.
+
+Each entry is a plain config dict — exactly what a user would put in a
+JSON file — validated through :meth:`ScenarioConfig.from_dict` on
+lookup.  The baseline/vaccination/forecast entries are the library form
+of the legacy ablation scripts (A5, A13, A14) and are proven to
+bit-match them by the equivalence suite in
+``tests/scenario/test_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.scenario.config import ScenarioConfig, ScenarioConfigError
+
+_DARWIN = {"seed_city": "Darwin"}
+
+#: name → plain config dict.  Dicts omit whatever matches the defaults.
+_LIBRARY: dict[str, dict] = {
+    "baseline": {
+        "description": "Unmitigated outbreak, Gravity 2Param coupling (legacy A5 arm).",
+    },
+    "baseline-radiation": {
+        "description": "Unmitigated outbreak, Radiation coupling (legacy A5 arm).",
+        "model": {"kind": "radiation"},
+    },
+    "lockdown-soft": {
+        "description": "Halve travel to/from the seed city (advisory-level lockdown).",
+        "interventions": [
+            {"kind": "mobility_restriction", "patches": ["Sydney"], "factor": 0.5}
+        ],
+    },
+    "lockdown-hard": {
+        "description": "90% travel reduction to/from the seed city.",
+        "interventions": [
+            {"kind": "mobility_restriction", "patches": ["Sydney"], "factor": 0.1}
+        ],
+    },
+    "lockdown-full": {
+        "description": "Complete quarantine of the seed city.",
+        "interventions": [
+            {"kind": "mobility_restriction", "patches": ["Sydney"], "factor": 0.0}
+        ],
+    },
+    "travel-shutdown": {
+        "description": "All travel nationwide scaled to 20% (border-closure dial).",
+        "interventions": [{"kind": "travel_scaling", "factor": 0.2}],
+    },
+    "mode-shift-local": {
+        "description": "Long-haul trips (>500 km) suppressed to 20%, local trips up 25%.",
+        "interventions": [
+            {
+                "kind": "mode_shift",
+                "threshold_km": 500.0,
+                "long_factor": 0.2,
+                "short_factor": 1.25,
+            }
+        ],
+    },
+    "vaccination-none": {
+        "description": "Darwin-seeded outbreak, no doses (legacy A14 'none' row).",
+        "epidemic": dict(_DARWIN),
+    },
+    "vaccination-population": {
+        "description": "15% coverage allocated by population (legacy A14 row).",
+        "epidemic": dict(_DARWIN),
+        "interventions": [
+            {"kind": "vaccination", "strategy": "by_population", "dose_fraction": 0.15}
+        ],
+    },
+    "vaccination-centrality": {
+        "description": "15% coverage allocated by mobility centrality (legacy A14 row).",
+        "epidemic": dict(_DARWIN),
+        "interventions": [
+            {"kind": "vaccination", "strategy": "by_centrality", "dose_fraction": 0.15}
+        ],
+    },
+    "vaccination-ring": {
+        "description": "15% coverage ring-allocated around the seed (legacy A14 row).",
+        "epidemic": dict(_DARWIN),
+        "interventions": [
+            {
+                "kind": "vaccination",
+                "strategy": "seed_ring",
+                "dose_fraction": 0.15,
+                "seed_city": "Darwin",
+            }
+        ],
+    },
+    "vaccination-staged": {
+        "description": "Staged campaign: 8% by population stacked with 7% by centrality.",
+        "epidemic": dict(_DARWIN),
+        "interventions": [
+            {"kind": "vaccination", "strategy": "by_population", "dose_fraction": 0.08},
+            {"kind": "vaccination", "strategy": "by_centrality", "dose_fraction": 0.07},
+        ],
+    },
+    "variant-import": {
+        "description": "A 30%-more-transmissible variant lands in Perth mid-stream.",
+        "interventions": [
+            {
+                "kind": "variant_seeding",
+                "city": "Perth",
+                "cases": 20.0,
+                "beta_multiplier": 1.3,
+            }
+        ],
+    },
+    "forecast-brisbane": {
+        "description": "Forecast loop, Brisbane-seeded hidden outbreak (legacy A13 arm).",
+        "epidemic": {"seed_city": "Brisbane"},
+        "forecast": {},
+    },
+    "forecast-darwin": {
+        "description": "Forecast loop, Darwin-seeded hidden outbreak (legacy A13 arm).",
+        "epidemic": dict(_DARWIN),
+        "forecast": {},
+    },
+    "forecast-horizon-30": {
+        "description": "Forecast loop with a short 30-day sensing horizon.",
+        "epidemic": {"seed_city": "Brisbane"},
+        "forecast": {"observation_days": 30},
+    },
+    "forecast-horizon-90": {
+        "description": "Forecast loop with a long 90-day sensing horizon.",
+        "epidemic": {"seed_city": "Brisbane"},
+        "forecast": {"observation_days": 90},
+    },
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All named scenarios, sorted."""
+    return tuple(sorted(_LIBRARY))
+
+
+def named_scenario(name: str) -> ScenarioConfig:
+    """Look up and validate a named scenario."""
+    if name not in _LIBRARY:
+        raise ScenarioConfigError(
+            f"unknown scenario {name!r}; known scenarios: {', '.join(scenario_names())}"
+        )
+    payload = copy.deepcopy(_LIBRARY[name])
+    payload["name"] = name
+    return ScenarioConfig.from_dict(payload)
+
+
+def scenario_descriptions() -> dict[str, str]:
+    """name → one-line description, for ``repro scenario list``."""
+    return {name: _LIBRARY[name].get("description", "") for name in scenario_names()}

@@ -1,0 +1,155 @@
+"""Scenario evaluation results: per-scenario outputs and comparisons.
+
+Results are plain frozen dataclasses so they pickle cleanly through the
+pipeline's artifact store; :meth:`to_json_dict` flattens numpy values
+for the CLI's ``--json`` output and the CI comparison artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Scalar outputs shown in comparison tables, in display order.
+_SCALAR_OUTPUTS = (
+    "total_infected",
+    "attack_rate",
+    "mean_arrival_day",
+    "peak_infectious",
+    "forecast_skill_r",
+    "forecast_skill_p",
+    "forecast_median_error_days",
+    "forecast_inferred_r0",
+)
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, np.ndarray):
+        return [None if not np.isfinite(v) else float(v) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer)):
+        value = value.item()
+    if isinstance(value, float) and not np.isfinite(value):
+        return None
+    return value
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario's requested outputs, plus enough context to read them."""
+
+    name: str
+    config: dict
+    patch_names: tuple[str, ...]
+    seed_city: str
+    outputs: dict
+
+    def scalars(self) -> dict[str, float]:
+        """The scalar outputs present, in display order."""
+        return {
+            key: float(self.outputs[key])
+            for key in _SCALAR_OUTPUTS
+            if key in self.outputs
+        }
+
+    def render(self) -> str:
+        """Human-readable summary: scalars, then the arrival ranking."""
+        lines = [f"Scenario {self.name!r} (seed: {self.seed_city})"]
+        description = self.config.get("description", "")
+        if description:
+            lines.append(f"  {description}")
+        for intervention in self.config.get("interventions", []):
+            spec = {k: v for k, v in intervention.items() if k != "kind"}
+            lines.append(f"  intervention: {intervention['kind']} {spec}")
+        for key, value in self.scalars().items():
+            if key == "attack_rate":
+                lines.append(f"  {key:<28s}{value:>12.1%}")
+            elif abs(value) >= 1000:
+                lines.append(f"  {key:<28s}{value:>12,.0f}")
+            else:
+                lines.append(f"  {key:<28s}{value:>12.3f}")
+        arrivals = self.outputs.get("arrival_times")
+        if arrivals is None:
+            arrivals = self.outputs.get("forecast_predicted_arrival")
+        if arrivals is not None:
+            arrivals = np.asarray(arrivals, dtype=np.float64)
+            order = np.argsort(arrivals)
+            shown = []
+            for index in order:
+                if self.patch_names[index] == self.seed_city:
+                    continue
+                if not np.isfinite(arrivals[index]):
+                    continue
+                shown.append(f"{self.patch_names[index]}@{arrivals[index]:.0f}d")
+                if len(shown) >= 8:
+                    break
+            if shown:
+                lines.append(f"  first reached: {', '.join(shown)}")
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> dict:
+        """JSON-able form (arrays → lists, non-finite floats → null)."""
+        return {
+            "name": self.name,
+            "config": self.config,
+            "patch_names": list(self.patch_names),
+            "seed_city": self.seed_city,
+            "outputs": {key: _jsonable(value) for key, value in self.outputs.items()},
+        }
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Member scenario results side by side; the first is the baseline."""
+
+    results: tuple[ScenarioResult, ...]
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            raise ValueError("a comparison needs at least one scenario result")
+
+    @property
+    def baseline(self) -> ScenarioResult:
+        """The reference scenario deltas are computed against."""
+        return self.results[0]
+
+    def render(self) -> str:
+        """Delta table: every shared scalar output vs the baseline."""
+        baseline = self.baseline.scalars()
+        keys = [
+            key
+            for key in _SCALAR_OUTPUTS
+            if key in baseline
+            and all(key in result.scalars() for result in self.results)
+        ]
+        width = max(len(result.name) for result in self.results)
+        header = f"  {'scenario':<{width + 2}s}" + "".join(f"{k:>28s}" for k in keys)
+        lines = [f"Scenario comparison (baseline: {self.baseline.name}):", header]
+        for result in self.results:
+            scalars = result.scalars()
+            cells = []
+            for key in keys:
+                value = scalars[key]
+                delta = value - baseline[key]
+                if result is self.baseline:
+                    cells.append(f"{value:>28,.3f}")
+                else:
+                    cells.append(f"{value:>15,.3f} ({delta:>+9,.3f})")
+            lines.append(f"  {result.name:<{width + 2}s}" + "".join(cells))
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> dict:
+        """JSON-able form: member results plus scalar deltas vs baseline."""
+        baseline = self.baseline.scalars()
+        deltas = {}
+        for result in self.results[1:]:
+            deltas[result.name] = {
+                key: _jsonable(value - baseline[key])
+                for key, value in result.scalars().items()
+                if key in baseline
+            }
+        return {
+            "baseline": self.baseline.name,
+            "scenarios": [result.to_json_dict() for result in self.results],
+            "deltas_vs_baseline": deltas,
+        }

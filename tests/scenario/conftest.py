@@ -1,0 +1,31 @@
+"""Scenario-suite fixtures: one shared context plus its national network.
+
+The equivalence tests need the scenario engine and the frozen legacy
+computations to see the *same* corpus, so everything here is
+session-scoped over the root conftest's 2,000-user ``small_corpus``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.gazetteer import Scale
+from repro.experiments import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def scenario_context(small_corpus) -> ExperimentContext:
+    """A shared experiment context over the small corpus."""
+    return ExperimentContext(small_corpus)
+
+
+@pytest.fixture(scope="session")
+def national_network(scenario_context):
+    """The gravity-coupled national network (memoised by the context)."""
+    return scenario_context.network(Scale.NATIONAL, "gravity2")
+
+
+@pytest.fixture(scope="session")
+def national_distances(scenario_context):
+    """Centre-distance matrix matching :func:`national_network`."""
+    return scenario_context.world(Scale.NATIONAL).distance_matrix_km

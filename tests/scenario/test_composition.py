@@ -1,0 +1,162 @@
+"""Intervention composition: order-independence, undefined stacks, no-ops.
+
+The stack contract is that *declared order is irrelevant bitwise* —
+``stack_order`` sorts by (phase, canonical key) before applying — and
+that compositions without a defined meaning raise
+:class:`InterventionStackError` instead of silently picking one.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.epidemic import (
+    EpidemicSetting,
+    InterventionError,
+    InterventionStackError,
+    MobilityRestriction,
+    ModeShift,
+    TravelScaling,
+    Vaccination,
+    VariantSeeding,
+    apply_stack,
+    simulate_seir,
+    simulate_setting,
+    validate_stack,
+)
+from repro.epidemic.seir import SEIRParams
+
+PARAMS = SEIRParams(beta=0.5, sigma=0.25, gamma=0.2)
+
+
+def _setting(network, distances=None):
+    return EpidemicSetting(network=network, params=PARAMS, distances_km=distances)
+
+
+MIXED_STACK = (
+    TravelScaling(factor=0.5),
+    MobilityRestriction(patches=("Sydney",), factor=0.3),
+    Vaccination(strategy="by_population", dose_fraction=0.1),
+    VariantSeeding(city="Perth", cases=5.0, beta_multiplier=1.2),
+)
+
+
+class TestOrderIndependence:
+    def test_every_permutation_is_bitwise_identical(
+        self, national_network, national_distances
+    ):
+        reference = apply_stack(_setting(national_network, national_distances), MIXED_STACK)
+        for permutation in itertools.permutations(MIXED_STACK):
+            applied = apply_stack(
+                _setting(national_network, national_distances), permutation
+            )
+            assert applied.params == reference.params
+            assert applied.extra_seeds == reference.extra_seeds
+            assert np.array_equal(applied.network.rates, reference.network.rates)
+            assert np.array_equal(
+                applied.network.populations, reference.network.populations
+            )
+            assert np.array_equal(applied.doses, reference.doses)
+
+    def test_permuted_stacks_simulate_identically(self, national_network):
+        stack = (
+            Vaccination(strategy="by_population", dose_fraction=0.08),
+            Vaccination(strategy="by_centrality", dose_fraction=0.07),
+            TravelScaling(factor=0.7),
+        )
+        results = [
+            simulate_setting(
+                apply_stack(_setting(national_network), permutation),
+                {"Sydney": 10.0},
+                t_max_days=40.0,
+            )
+            for permutation in (stack, stack[::-1])
+        ]
+        for array in ("s", "e", "i", "r"):
+            assert np.array_equal(
+                getattr(results[0], array), getattr(results[1], array)
+            )
+
+    def test_validate_stack_returns_canonical_order(self):
+        ordered = validate_stack(MIXED_STACK[::-1])
+        assert [i.phase for i in ordered] == sorted(i.phase for i in ordered)
+        assert ordered == validate_stack(MIXED_STACK)
+
+
+class TestUndefinedStacks:
+    def test_identical_intervention_twice_is_rejected(self):
+        twice = (TravelScaling(factor=0.5), TravelScaling(factor=0.5))
+        with pytest.raises(InterventionStackError, match="listed twice"):
+            validate_stack(twice)
+
+    def test_same_city_seeded_twice_is_rejected(self):
+        stack = (
+            VariantSeeding(city="Perth", cases=5.0),
+            VariantSeeding(city="Perth", cases=9.0, beta_multiplier=1.5),
+        )
+        with pytest.raises(InterventionStackError, match="Perth"):
+            validate_stack(stack)
+
+    def test_overdosing_a_patch_is_rejected_at_apply_time(self, national_network):
+        stack = (
+            Vaccination(strategy="by_population", dose_fraction=0.9),
+            Vaccination(strategy="by_centrality", dose_fraction=0.9),
+        )
+        # Statically fine (different interventions) ...
+        validate_stack(stack)
+        # ... but the summed doses exceed some patch's population.
+        with pytest.raises(InterventionStackError, match="exceed the population"):
+            apply_stack(_setting(national_network), stack)
+
+    def test_mode_shift_without_distances_is_rejected(self, national_network):
+        shift = ModeShift(threshold_km=500.0, long_factor=0.2)
+        with pytest.raises(InterventionError, match="distance matrix"):
+            apply_stack(_setting(national_network, distances=None), (shift,))
+
+
+#: Interventions that must each leave the simulation bitwise unchanged.
+_NO_OPS = (
+    TravelScaling(factor=1.0),
+    MobilityRestriction(patches=("Sydney",), factor=1.0),
+    MobilityRestriction(patches=("Melbourne", "Perth"), factor=1.0),
+    Vaccination(strategy="by_population", dose_fraction=0.0),
+    Vaccination(strategy="seed_ring", dose_fraction=0.0, seed_city="Darwin"),
+)
+
+
+class TestNoOpStacks:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        stack=st.lists(
+            st.sampled_from(_NO_OPS), unique_by=lambda i: i.canonical_key(), max_size=5
+        ).flatmap(st.permutations)
+    )
+    def test_noop_stack_reproduces_baseline_bitwise(
+        self, stack, national_network, national_distances
+    ):
+        """Property: any stack of unit-factor/zero-dose interventions is
+        bitwise indistinguishable from no interventions at all."""
+        baseline = simulate_seir(
+            national_network, PARAMS, {"Sydney": 10.0}, t_max_days=30.0
+        )
+        applied = apply_stack(
+            _setting(national_network, national_distances), tuple(stack)
+        )
+        intervened = simulate_setting(applied, {"Sydney": 10.0}, t_max_days=30.0)
+        for array in ("times", "s", "e", "i", "r"):
+            assert np.array_equal(
+                getattr(intervened, array), getattr(baseline, array)
+            ), f"{array} diverged under a no-op stack"
+
+    def test_zero_dose_stack_runs_on_the_original_network_object(self, national_network):
+        """The immunity wrapper must short-circuit when no doses landed,
+        not rebuild an equal-valued network."""
+        applied = apply_stack(
+            _setting(national_network),
+            (Vaccination(strategy="by_population", dose_fraction=0.0),),
+        )
+        result = simulate_setting(applied, {"Sydney": 10.0}, t_max_days=5.0)
+        assert result.network is national_network

@@ -1,0 +1,184 @@
+"""ScenarioConfig validation: pointed rejections and canonical round-trips."""
+
+import pytest
+
+from repro.data.gazetteer import Scale
+from repro.scenario import (
+    DEFAULT_FORECAST_OUTPUTS,
+    DEFAULT_OUTPUTS,
+    ScenarioConfig,
+    ScenarioConfigError,
+)
+
+
+def _valid(**overrides) -> dict:
+    payload = {"name": "t"}
+    payload.update(overrides)
+    return payload
+
+
+class TestTopLevel:
+    def test_minimal_config_uses_defaults(self):
+        config = ScenarioConfig.from_dict({"name": "t"})
+        assert config.name == "t"
+        assert config.world.gazetteer == "legacy"
+        assert config.world.scale is Scale.NATIONAL
+        assert config.corpus.users == 20_000
+        assert config.model.kind == "gravity2"
+        assert config.epidemic.seed_city == "Sydney"
+        assert config.interventions == ()
+        assert config.outputs == DEFAULT_OUTPUTS
+        assert config.forecast is None
+
+    def test_name_required(self):
+        with pytest.raises(ScenarioConfigError, match="name.*required"):
+            ScenarioConfig.from_dict({})
+
+    def test_unknown_top_key_rejected(self):
+        with pytest.raises(ScenarioConfigError, match="unknown keys.*gazeteer"):
+            ScenarioConfig.from_dict(_valid(gazeteer="legacy"))
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ScenarioConfigError, match="expected a mapping"):
+            ScenarioConfig.from_dict(["name"])
+
+    def test_non_string_description_rejected(self):
+        with pytest.raises(ScenarioConfigError, match="description"):
+            ScenarioConfig.from_dict(_valid(description=7))
+
+
+class TestSections:
+    def test_unknown_section_key_rejected(self):
+        with pytest.raises(ScenarioConfigError, match="corpus: unknown keys n_users"):
+            ScenarioConfig.from_dict(_valid(corpus={"n_users": 10}))
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(ScenarioConfigError, match="corpus.users"):
+            ScenarioConfig.from_dict(_valid(corpus={"users": True}))
+
+    def test_fractional_users_rejected(self):
+        with pytest.raises(ScenarioConfigError, match="corpus.users"):
+            ScenarioConfig.from_dict(_valid(corpus={"users": 10.5}))
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ScenarioConfigError, match="world.scale: unknown scale"):
+            ScenarioConfig.from_dict(_valid(world={"scale": "galactic"}))
+
+    def test_unknown_model_kind_rejected(self):
+        with pytest.raises(ScenarioConfigError, match="model.kind: unknown model"):
+            ScenarioConfig.from_dict(_valid(model={"kind": "teleportation"}))
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(ScenarioConfigError, match="epidemic.beta: must be positive"):
+            ScenarioConfig.from_dict(_valid(epidemic={"beta": -0.5}))
+
+    def test_string_beta_rejected(self):
+        with pytest.raises(ScenarioConfigError, match="epidemic.beta: expected a number"):
+            ScenarioConfig.from_dict(_valid(epidemic={"beta": "0.5"}))
+
+
+class TestInterventions:
+    def test_unknown_kind_wrapped_in_config_error(self):
+        with pytest.raises(ScenarioConfigError, match="unknown intervention kind"):
+            ScenarioConfig.from_dict(_valid(interventions=[{"kind": "prayer"}]))
+
+    def test_bad_parameter_wrapped_in_config_error(self):
+        with pytest.raises(ScenarioConfigError, match="factor must be in"):
+            ScenarioConfig.from_dict(
+                _valid(
+                    interventions=[
+                        {"kind": "mobility_restriction", "patches": ["Sydney"], "factor": 2.0}
+                    ]
+                )
+            )
+
+    def test_duplicate_intervention_rejected_statically(self):
+        spec = {"kind": "travel_scaling", "factor": 0.5}
+        with pytest.raises(ScenarioConfigError, match="listed twice"):
+            ScenarioConfig.from_dict(_valid(interventions=[spec, dict(spec)]))
+
+    def test_string_interventions_rejected(self):
+        with pytest.raises(ScenarioConfigError, match="expected a list"):
+            ScenarioConfig.from_dict(_valid(interventions="travel_scaling"))
+
+    def test_permuted_stack_serialises_identically(self):
+        stack = [
+            {"kind": "travel_scaling", "factor": 0.5},
+            {"kind": "mobility_restriction", "patches": ["Sydney"], "factor": 0.1},
+            {"kind": "vaccination", "strategy": "by_population", "dose_fraction": 0.1},
+        ]
+        forward = ScenarioConfig.from_dict(_valid(interventions=stack))
+        backward = ScenarioConfig.from_dict(_valid(interventions=stack[::-1]))
+        assert forward.to_dict() == backward.to_dict()
+
+
+class TestOutputs:
+    def test_unknown_output_rejected(self):
+        with pytest.raises(ScenarioConfigError, match="not a valid epidemic-scenario"):
+            ScenarioConfig.from_dict(_valid(outputs=["r0_over_time"]))
+
+    def test_empty_outputs_rejected(self):
+        with pytest.raises(ScenarioConfigError, match="at least one output"):
+            ScenarioConfig.from_dict(_valid(outputs=[]))
+
+    def test_forecast_scenario_rejects_epidemic_outputs(self):
+        with pytest.raises(ScenarioConfigError, match="not a valid forecast-scenario"):
+            ScenarioConfig.from_dict(_valid(forecast={}, outputs=["attack_rate"]))
+
+    def test_epidemic_scenario_rejects_forecast_outputs(self):
+        with pytest.raises(ScenarioConfigError, match="not a valid epidemic-scenario"):
+            ScenarioConfig.from_dict(_valid(outputs=["forecast_skill_r"]))
+
+    def test_forecast_default_outputs(self):
+        config = ScenarioConfig.from_dict(_valid(forecast={}))
+        assert config.outputs == DEFAULT_FORECAST_OUTPUTS
+
+
+class TestForecastMode:
+    def test_forecast_rejects_non_network_interventions(self):
+        with pytest.raises(ScenarioConfigError, match="network-phase interventions only"):
+            ScenarioConfig.from_dict(
+                _valid(
+                    forecast={},
+                    interventions=[
+                        {"kind": "vaccination", "strategy": "by_population", "dose_fraction": 0.1}
+                    ],
+                )
+            )
+
+    def test_forecast_accepts_network_interventions(self):
+        config = ScenarioConfig.from_dict(
+            _valid(forecast={}, interventions=[{"kind": "travel_scaling", "factor": 0.5}])
+        )
+        assert config.forecast is not None
+
+    def test_forecast_observation_days_floor(self):
+        with pytest.raises(ScenarioConfigError, match="observation_days"):
+            ScenarioConfig.from_dict(_valid(forecast={"observation_days": 1}))
+
+
+class TestRoundTrip:
+    def test_to_dict_round_trips(self):
+        payload = _valid(
+            description="round trip",
+            world={"gazetteer": "legacy", "scale": "state"},
+            corpus={"users": 123, "seed": 7},
+            model={"kind": "radiation", "trips_per_person_per_day": 0.1},
+            epidemic={"seed_city": "Perth", "beta": 0.4},
+            interventions=[{"kind": "travel_scaling", "factor": 0.5}],
+            outputs=["attack_rate"],
+        )
+        first = ScenarioConfig.from_dict(payload)
+        second = ScenarioConfig.from_dict(first.to_dict())
+        assert first == second
+        assert first.to_dict() == second.to_dict()
+
+    def test_with_overrides(self):
+        config = ScenarioConfig.from_dict(_valid())
+        tweaked = config.with_overrides(users=500, seed=9, gazetteer="synthetic:100:0")
+        assert tweaked.corpus.users == 500
+        assert tweaked.corpus.seed == 9
+        assert tweaked.world.gazetteer == "synthetic:100:0"
+        # The original is untouched and non-overridden fields survive.
+        assert config.corpus.users == 20_000
+        assert tweaked.epidemic == config.epidemic

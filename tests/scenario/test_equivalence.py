@@ -1,0 +1,108 @@
+"""Bit-for-bit equivalence against the legacy ablation scripts.
+
+Each test freezes the *original* computation of a pre-scenario ablation
+script (A5 epidemic coupling, A14 vaccination allocation, A13 forecast
+loop) verbatim, then asserts the corresponding named scenario produces
+exactly — not approximately — the same numbers on the same corpus.
+These are the proofs that folding the ablations into the scenario
+engine changed their packaging, not their meaning.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.gazetteer import Scale, areas_for_scale
+from repro.epidemic import network_from_model, simulate_seir
+from repro.epidemic.interventions import (
+    allocate_by_centrality,
+    allocate_by_population,
+    allocate_seed_ring,
+    evaluate_vaccination,
+)
+from repro.epidemic.seir import SEIRParams
+from repro.experiments.epidemic_forecast import run_forecast_experiment
+from repro.models import GravityModel, RadiationModel
+from repro.scenario import evaluate_scenario, named_scenario
+
+
+class TestA5EpidemicCoupling:
+    """`bench_ablation_epidemic.py` before the refactor, frozen verbatim."""
+
+    @pytest.mark.parametrize(
+        "name, kind", [("baseline", "gravity2"), ("baseline-radiation", "radiation")]
+    )
+    def test_coupling_arm_bit_matches(self, scenario_context, name, kind):
+        # --- legacy computation (copied from the pre-refactor script) ---
+        flows = scenario_context.flows(Scale.NATIONAL)
+        pairs = flows.pairs()
+        if kind == "gravity2":
+            fitted = GravityModel(2).fit(pairs)
+        else:
+            fitted = RadiationModel.from_flows(flows).fit(pairs)
+        network = network_from_model(fitted, areas_for_scale(Scale.NATIONAL))
+        params = SEIRParams(beta=0.5, sigma=0.25, gamma=0.2)  # R0 = 2.5
+        legacy = simulate_seir(network, params, {"Sydney": 10.0}, t_max_days=365)
+        legacy_arrivals = legacy.arrival_times(threshold=10.0)
+
+        # --- the named scenario ---
+        result = evaluate_scenario(named_scenario(name), scenario_context)
+
+        assert result.patch_names == network.names
+        assert np.array_equal(result.outputs["arrival_times"], legacy_arrivals)
+        assert result.outputs["total_infected"] == float(
+            legacy.r[-1].sum() + legacy.i[-1].sum() + legacy.e[-1].sum()
+        )
+
+
+class TestA14Vaccination:
+    """`bench_ablation_vaccination.py` before the refactor, frozen verbatim."""
+
+    SEED_CITY = "Darwin"
+    DOSE_FRACTION = 0.15
+
+    @pytest.fixture(scope="class")
+    def legacy_outcomes(self, scenario_context):
+        pairs = scenario_context.flows(Scale.NATIONAL).pairs()
+        network = network_from_model(
+            GravityModel(2).fit(pairs), areas_for_scale(Scale.NATIONAL)
+        )
+        total_doses = self.DOSE_FRACTION * network.populations.sum()
+        allocations = {
+            "none": np.zeros(network.n_patches),
+            "by_population": allocate_by_population(network, total_doses),
+            "by_centrality": allocate_by_centrality(network, total_doses),
+            "seed_ring": allocate_seed_ring(network, total_doses, self.SEED_CITY),
+        }
+        params = SEIRParams(beta=0.5, gamma=0.2)
+        outcomes = evaluate_vaccination(network, params, self.SEED_CITY, allocations)
+        return {outcome.strategy: outcome for outcome in outcomes}
+
+    @pytest.mark.parametrize(
+        "name, strategy",
+        [
+            ("vaccination-none", "none"),
+            ("vaccination-population", "by_population"),
+            ("vaccination-centrality", "by_centrality"),
+            ("vaccination-ring", "seed_ring"),
+        ],
+    )
+    def test_strategy_row_bit_matches(self, scenario_context, legacy_outcomes, name, strategy):
+        legacy = legacy_outcomes[strategy]
+        result = evaluate_scenario(named_scenario(name), scenario_context)
+        assert result.outputs["total_infected"] == legacy.total_infected
+        assert result.outputs["attack_rate"] == legacy.attack_rate
+        assert result.outputs["mean_arrival_day"] == legacy.mean_arrival_day
+
+
+class TestA13ForecastLoop:
+    """`bench_ablation_forecast.py` before the refactor, frozen verbatim."""
+
+    def test_forecast_arm_bit_matches(self, scenario_context):
+        legacy = run_forecast_experiment(scenario_context, seed_city="Brisbane")
+        result = evaluate_scenario(named_scenario("forecast-brisbane"), scenario_context)
+        assert result.outputs["forecast_skill_r"] == float(legacy.skill.r)
+        assert result.outputs["forecast_skill_p"] == float(legacy.skill.p_value)
+        assert result.outputs["forecast_median_error_days"] == float(
+            legacy.median_error_days
+        )
+        assert result.outputs["forecast_inferred_r0"] == float(legacy.inferred.r0)

@@ -1,0 +1,53 @@
+"""The named scenario library: every entry validates, lookups are safe."""
+
+import pytest
+
+from repro.scenario import (
+    ScenarioConfigError,
+    named_scenario,
+    scenario_descriptions,
+    scenario_names,
+)
+
+
+class TestLibrary:
+    def test_ships_at_least_ten_scenarios(self):
+        assert len(scenario_names()) >= 10
+
+    def test_names_are_sorted_and_unique(self):
+        names = scenario_names()
+        assert list(names) == sorted(set(names))
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_every_entry_validates(self, name):
+        config = named_scenario(name)
+        assert config.name == name
+        assert config.description
+
+    def test_unknown_name_lists_the_known_ones(self):
+        with pytest.raises(ScenarioConfigError, match="baseline"):
+            named_scenario("no-such-scenario")
+
+    def test_lookup_returns_fresh_configs(self):
+        assert named_scenario("baseline") == named_scenario("baseline")
+
+    def test_descriptions_cover_every_name(self):
+        descriptions = scenario_descriptions()
+        assert set(descriptions) == set(scenario_names())
+        assert all(descriptions.values())
+
+    def test_expected_families_present(self):
+        names = set(scenario_names())
+        assert {"baseline", "baseline-radiation"} <= names
+        assert {
+            "vaccination-none",
+            "vaccination-population",
+            "vaccination-centrality",
+            "vaccination-ring",
+        } <= names
+        assert {"forecast-brisbane", "forecast-darwin"} <= names
+
+    def test_forecast_entries_carry_forecast_specs(self):
+        assert named_scenario("forecast-brisbane").forecast is not None
+        assert named_scenario("baseline").forecast is None
+        assert named_scenario("baseline").interventions == ()
